@@ -1,0 +1,46 @@
+"""Figure 3: reachable-address collection from Bitnodes + the DNS database.
+
+Paper (per-snapshot averages): Bitnodes 10,114; DNS 6,637; common 6,078;
+excluded 439/342/329 (critical infrastructure); connected 8,270; 404 nodes
+connected that Bitnodes missed.  All counts scale with REPRO_BENCH_SCALE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reports import comparison_table
+from repro.netmodel import calibration as cal
+
+from .conftest import BENCH_SCALE
+
+
+def test_fig03_reachable_crawl(benchmark, campaign):
+    scenario, result = benchmark.pedantic(lambda: campaign, rounds=1, iterations=1)
+    rows = result.fig3_rows()
+    mean = {key: float(np.mean([row[key] for row in rows])) for key in rows[0]}
+    s = BENCH_SCALE
+    print()
+    print(
+        comparison_table(
+            [
+                ("bitnodes addrs", cal.BITNODES_ADDRS_PER_SNAPSHOT * s, mean["bitnodes"]),
+                ("dns addrs", cal.DNS_ADDRS_PER_SNAPSHOT * s, mean["dns"]),
+                ("common addrs", cal.COMMON_ADDRS_PER_SNAPSHOT * s, mean["common"]),
+                ("excluded bitnodes", cal.EXCLUDED_BITNODES * s, mean["excluded_bitnodes"]),
+                ("excluded dns", cal.EXCLUDED_DNS * s, mean["excluded_dns"]),
+                ("excluded common", cal.EXCLUDED_COMMON * s, mean["excluded_common"]),
+                ("connected", cal.CONNECTED_PER_SNAPSHOT * s, mean["connected"]),
+                ("dns-only connected", cal.DNS_ONLY_CONNECTED * s, mean["dns_only_connected"]),
+            ],
+            title=f"Fig. 3 — reachable crawl (scale {s})",
+        )
+    )
+
+    # Shape: bitnodes > dns; common is most of dns; both sources matter.
+    assert mean["bitnodes"] > mean["dns"] > mean["common"] * 0.8
+    assert mean["common"] / mean["dns"] > 0.75
+    assert mean["dns_only_connected"] > 0  # the DNS database adds coverage
+    # Scaled magnitudes within 2x of the paper.
+    assert 0.5 < mean["bitnodes"] / (cal.BITNODES_ADDRS_PER_SNAPSHOT * s) < 2.0
+    assert 0.5 < mean["connected"] / (cal.CONNECTED_PER_SNAPSHOT * s) < 2.0

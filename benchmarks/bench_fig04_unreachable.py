@@ -1,0 +1,61 @@
+"""Figure 4: unreachable addresses harvested per snapshot and cumulatively.
+
+Paper: ≈195K unique unreachable addresses per experiment, 694,696
+cumulative over 60 days, with a persistent gap between the two curves (new
+addresses keep appearing).  The unreachable network is ~24x the reachable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reports import comparison_table, series_preview
+from repro.netmodel import calibration as cal
+
+from .conftest import BENCH_SCALE
+
+
+def test_fig04_unreachable(benchmark, campaign):
+    _scenario, result = benchmark.pedantic(lambda: campaign, rounds=1, iterations=1)
+    series = result.fig4_series()
+    per_snapshot = series["per_snapshot"]
+    cumulative = series["cumulative"]
+    s = BENCH_SCALE
+    connected_mean = float(
+        np.mean([len(snap.connected) for snap in result.snapshots])
+    )
+    ratio = float(np.mean(per_snapshot)) / connected_mean
+    print()
+    print(
+        comparison_table(
+            [
+                (
+                    "unreachable / snapshot",
+                    cal.UNREACHABLE_PER_SNAPSHOT * s,
+                    float(np.mean(per_snapshot)),
+                ),
+                (
+                    "cumulative unreachable",
+                    cal.CUMULATIVE_UNREACHABLE * s,
+                    cumulative[-1],
+                ),
+                (
+                    "unreachable : reachable ratio",
+                    cal.UNREACHABLE_TO_REACHABLE_RATIO,
+                    ratio,
+                ),
+            ],
+            title=f"Fig. 4 — unreachable harvest (scale {s})",
+        )
+    )
+    print(f"per-snapshot: {series_preview(per_snapshot)}")
+    print(f"cumulative:   {series_preview(cumulative)}")
+
+    # Shape: cumulative monotone, keeps growing past the first snapshot.
+    assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] > 1.5 * per_snapshot[0]
+    # Magnitudes within 2x of scaled paper values.
+    assert 0.5 < np.mean(per_snapshot) / (cal.UNREACHABLE_PER_SNAPSHOT * s) < 2.0
+    assert 0.5 < cumulative[-1] / (cal.CUMULATIVE_UNREACHABLE * s) < 2.0
+    # The headline 24x size gap, within a factor of 2.
+    assert 12 < ratio < 48

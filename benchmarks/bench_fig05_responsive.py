@@ -1,0 +1,66 @@
+"""Figure 5: responsive (VER-answering) unreachable nodes.
+
+Paper: ≈54K responsive addresses per experiment (27.69% of the snapshot
+pool), 163,496 cumulative (23.54% of all unreachable addresses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reports import comparison_table, series_preview
+from repro.netmodel import calibration as cal
+
+from .conftest import BENCH_SCALE
+
+
+def test_fig05_responsive(benchmark, campaign):
+    _scenario, result = benchmark.pedantic(lambda: campaign, rounds=1, iterations=1)
+    series = result.fig5_series()
+    per_snapshot = series["per_snapshot"]
+    cumulative = series["cumulative"]
+    s = BENCH_SCALE
+    cumulative_share = len(result.cumulative_responsive) / len(
+        result.cumulative_unreachable
+    )
+    snapshot_shares = [
+        len(snap.responsive) / len(snap.unreachable)
+        for snap in result.snapshots
+        if snap.unreachable
+    ]
+    print()
+    print(
+        comparison_table(
+            [
+                (
+                    "responsive / snapshot",
+                    cal.RESPONSIVE_PER_SNAPSHOT * s,
+                    float(np.mean(per_snapshot)),
+                ),
+                (
+                    "cumulative responsive",
+                    cal.CUMULATIVE_RESPONSIVE * s,
+                    cumulative[-1],
+                ),
+                (
+                    "responsive share (cumulative)",
+                    cal.RESPONSIVE_SHARE_CUMULATIVE,
+                    cumulative_share,
+                ),
+                (
+                    "responsive share (per snapshot)",
+                    cal.RESPONSIVE_SHARE_PER_SNAPSHOT,
+                    float(np.mean(snapshot_shares)),
+                ),
+            ],
+            title=f"Fig. 5 — responsive nodes (scale {s})",
+        )
+    )
+    print(f"per-snapshot: {series_preview(per_snapshot)}")
+    print(f"cumulative:   {series_preview(cumulative)}")
+
+    assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    assert 0.5 < np.mean(per_snapshot) / (cal.RESPONSIVE_PER_SNAPSHOT * s) < 2.0
+    assert 0.5 < cumulative[-1] / (cal.CUMULATIVE_RESPONSIVE * s) < 2.0
+    # Responsive stays a minority of the unreachable pool, near ~25%.
+    assert 0.12 < cumulative_share < 0.45

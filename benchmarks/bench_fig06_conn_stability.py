@@ -1,0 +1,50 @@
+"""Figure 6: stability of a node's outgoing connections over 260 seconds.
+
+Paper: the connection count oscillates between 2 and 10 (8 slots + 2
+feelers), averages 6.67, and sits below 8 for ~60% of the experiment.
+"""
+
+from __future__ import annotations
+
+from repro.bitcoin import NodeConfig
+from repro.core import run_connection_stability
+from repro.core.reports import comparison_table, series_preview
+from repro.netmodel import calibration as cal
+
+
+def test_fig06_conn_stability(benchmark, warm_protocol):
+    # The observer sees real-world connection instability: its outbound
+    # links drop spontaneously (peer evictions, NAT timeouts) and refill
+    # slowly through polluted tables.
+    observer_config = NodeConfig(
+        track_connection_attempts=True,
+        connection_lifetime_mean=150.0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_connection_stability(
+            warm_protocol,
+            duration=cal.CONN_STABILITY_DURATION,
+            observer_config=observer_config,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        comparison_table(
+            [
+                ("mean outgoing connections", cal.MEAN_OUTGOING_CONNECTIONS, result.mean_connections),
+                ("time below 8 connections", cal.TIME_BELOW_8_CONNECTIONS, result.fraction_below_8),
+                ("min connections", cal.CONNECTION_RANGE[0], result.min_connections),
+                ("max connections", cal.CONNECTION_RANGE[1], result.max_connections),
+            ],
+            title="Fig. 6 — outgoing-connection stability",
+        )
+    )
+    print(f"series: {series_preview(result.series.values)}")
+
+    # Shape: unstable, capped by 8 slots + 2 feelers, averages below 8.
+    assert result.max_connections <= 10
+    assert result.mean_connections < 8.0
+    assert result.fraction_below_8 > 0.2
+    assert result.min_connections < 8

@@ -1,0 +1,50 @@
+"""Figure 7: success rate of outgoing connection attempts.
+
+Paper: five 5-minute runs of a restarted node; on average only 11.2% of
+attempts succeeded (worst run 8/137 = 5.8%), because the new/tried tables
+are dominated by unreachable addresses.
+"""
+
+from __future__ import annotations
+
+from repro.core import run_connection_success
+from repro.core.reports import comparison_table, format_table
+from repro.netmodel import calibration as cal
+
+
+def test_fig07_conn_success(benchmark, warm_protocol):
+    result = benchmark.pedantic(
+        lambda: run_connection_success(warm_protocol, runs=5, duration=300.0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("run", "attempts", "successes", "rate"),
+            [
+                (index + 1, run.attempts, run.successes, run.success_rate)
+                for index, run in enumerate(result.runs)
+            ],
+            title="Fig. 7 — per-run outgoing-connection outcomes",
+        )
+    )
+    print(
+        comparison_table(
+            [
+                ("success rate", cal.CONNECTION_SUCCESS_RATE, result.overall_rate),
+                ("failure rate", 0.888, 1 - result.overall_rate),
+                (
+                    "worst-run rate",
+                    cal.CONNECTION_WORST_RUN[0] / cal.CONNECTION_WORST_RUN[1],
+                    result.worst_run.success_rate,
+                ),
+            ],
+            title="Fig. 7 — success-rate summary",
+        )
+    )
+
+    # Shape: failure dominates, success in the paper's band.
+    assert 0.04 < result.overall_rate < 0.30
+    assert all(run.attempts > 30 for run in result.runs)
+    assert result.worst_run.success_rate < 0.20

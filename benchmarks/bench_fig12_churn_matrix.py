@@ -1,0 +1,50 @@
+"""Figure 12: the churn binary matrix (Algorithm 4) and node lifetimes.
+
+Paper: 3,034 nodes never left during the 60-day campaign; a majority of
+nodes' presence lines end before the campaign does; some lines reappear
+(rejoins); the mean node lifetime is 16.6 days — the §V basis for the
+17-day tried-table horizon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reports import comparison_table
+from repro.netmodel import calibration as cal
+from repro.units import DAYS
+
+from .conftest import BENCH_SCALE
+
+
+def test_fig12_churn_matrix(benchmark, campaign):
+    _scenario, result = benchmark.pedantic(lambda: campaign, rounds=1, iterations=1)
+    matrix = result.churn_matrix()
+    stats = result.churn_stats()
+    s = BENCH_SCALE
+    lifetime_days = stats.mean_lifetime / DAYS
+    print()
+    print(
+        comparison_table(
+            [
+                ("unique reachable nodes", cal.CUMULATIVE_REACHABLE * s, stats.unique_nodes),
+                ("always-on nodes", cal.ALWAYS_ON_NODES * s, stats.always_on),
+                ("mean node lifetime (days)", cal.MEAN_NODE_LIFETIME_DAYS, lifetime_days),
+                ("rejoining nodes", 0, stats.rejoining_nodes),
+            ],
+            title=f"Fig. 12 — churn matrix (scale {s}, {matrix.n_snapshots} snapshots)",
+        )
+    )
+    occupancy = matrix.matrix.mean()
+    print(f"matrix shape: {matrix.matrix.shape}, occupancy {occupancy:.2f}")
+
+    # Shape: all four visual observations of Fig. 12 hold.
+    assert stats.always_on > 0  # (4) a few lines span the whole x-axis
+    assert stats.unique_nodes > 2 * stats.mean_alive_per_snapshot * 0.9  # (1) many newcomers
+    assert stats.rejoining_nodes > 0  # (3) lines that reappear
+    departed = stats.unique_nodes - stats.always_on
+    assert departed > stats.unique_nodes * 0.5  # (2) most nodes leave
+    # Calibration: counts/lifetime near the paper's.
+    assert 0.5 < stats.unique_nodes / (cal.CUMULATIVE_REACHABLE * s) < 2.0
+    assert 0.4 < stats.always_on / (cal.ALWAYS_ON_NODES * s) < 2.0
+    assert 0.5 < lifetime_days / cal.MEAN_NODE_LIFETIME_DAYS < 2.0

@@ -1,0 +1,57 @@
+"""Figure 13: daily arrivals vs departures of reachable nodes.
+
+Paper: ≈708 nodes (8.6% of the reachable network) leave every day,
+replaced by a near-equal number of newcomers — the arrival/departure gap
+stays small, which is why the network *size* looks constant while its
+*membership* churns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reports import comparison_table, series_preview
+from repro.netmodel import calibration as cal
+
+from .conftest import BENCH_SCALE
+
+
+def test_fig13_daily_churn(benchmark, campaign):
+    _scenario, result = benchmark.pedantic(lambda: campaign, rounds=1, iterations=1)
+    stats = result.churn_stats()
+    matrix = result.churn_matrix()
+    interval = matrix.snapshot_interval
+    per_day = 86400.0 / interval
+    s = BENCH_SCALE
+    daily_departures = float(np.mean(stats.departures)) * per_day
+    daily_arrivals = float(np.mean(stats.arrivals)) * per_day
+    daily_rate = stats.departure_rate * per_day
+    print()
+    print(
+        comparison_table(
+            [
+                ("daily departures", cal.DAILY_CHURN_NODES * s, daily_departures),
+                ("daily arrivals", cal.DAILY_CHURN_NODES * s, daily_arrivals),
+                ("daily churn rate", cal.DAILY_CHURN_RATE, daily_rate),
+                (
+                    "mean |arrivals - departures|",
+                    0,
+                    float(
+                        np.mean(
+                            np.abs(
+                                np.array(stats.arrivals) - np.array(stats.departures)
+                            )
+                        )
+                    ),
+                ),
+            ],
+            title=f"Fig. 13 — daily churn (scale {s})",
+        )
+    )
+    print(f"arrivals:   {series_preview(stats.arrivals)}")
+    print(f"departures: {series_preview(stats.departures)}")
+
+    # Shape: arrivals ≈ departures (small gap), rate near 8.6%/day.
+    assert abs(daily_arrivals - daily_departures) < 0.35 * daily_departures
+    assert 0.4 < daily_rate / cal.DAILY_CHURN_RATE < 2.2
+    assert 0.4 < daily_departures / (cal.DAILY_CHURN_NODES * s) < 2.2

@@ -1,0 +1,73 @@
+"""Table I: top ASes hosting reachable/unreachable/responsive nodes.
+
+Paper: reachable spread over 2,000 ASes (25 cover 50%), unreachable over
+8,494 (36 cover 50%), responsive over 4,453 (24 cover 50%); only 10 ASes
+appear in all three top-20 lists; AS4134 ranks ~20th by reachable nodes
+but 2nd by responsive nodes (§IV-A.1 routing-attack revisit).
+"""
+
+from __future__ import annotations
+
+from repro.core import common_top_ases, plan_hijack, target_shifts
+from repro.core.reports import comparison_table, format_table
+from repro.netmodel import calibration as cal
+
+
+def test_table1_as_hosting(benchmark, campaign):
+    scenario, result = benchmark.pedantic(lambda: campaign, rounds=1, iterations=1)
+    reports = result.hosting_reports(scenario.universe.asn_of)
+    reachable = reports["reachable"]
+    unreachable = reports["unreachable"]
+    responsive = reports["responsive"]
+
+    rows = []
+    for rank in range(1, 21):
+        row = []
+        for report in (reachable, unreachable, responsive):
+            top = report.top(20)
+            if rank <= len(top):
+                row.extend([top[rank - 1].asn, round(top[rank - 1].percent, 2)])
+            else:
+                row.extend(["-", "-"])
+        rows.append([rank] + row)
+    print()
+    print(
+        format_table(
+            ("rank", "ASN(Rb)", "%Rb", "ASN(Urb)", "%Urb", "ASN(Resp)", "%Resp"),
+            rows,
+            title="Table I — top-20 hosting ASes (measured)",
+        )
+    )
+    common = common_top_ases(
+        [reachable, unreachable, responsive], k=20
+    )
+    print(
+        comparison_table(
+            [
+                ("k50 reachable", cal.AS_50PCT_REACHABLE, reachable.k_to_cover_half()),
+                ("k50 unreachable", cal.AS_50PCT_UNREACHABLE, unreachable.k_to_cover_half()),
+                ("k50 responsive", cal.AS_50PCT_RESPONSIVE, responsive.k_to_cover_half()),
+                ("common top-20 ASes", 10, len(common)),
+            ],
+            title="Table I — concentration statistics",
+        )
+    )
+
+    # Concentration statistics near the paper's.
+    assert abs(reachable.k_to_cover_half() - cal.AS_50PCT_REACHABLE) <= 12
+    assert abs(unreachable.k_to_cover_half() - cal.AS_50PCT_UNREACHABLE) <= 15
+    assert abs(responsive.k_to_cover_half() - cal.AS_50PCT_RESPONSIVE) <= 12
+    # Partial top-20 overlap across classes, as in Table I.
+    assert 5 <= len(common) <= 16
+
+    # The paper's AS4134 example: low reachable rank, top-3 responsive.
+    shifts = target_shifts(reachable, responsive, k=3)
+    assert any(
+        shift.rank_by_reachable is None or shift.rank_by_reachable > shift.rank_by_responsive
+        for shift in shifts
+    )
+
+    # Hijack plans: isolating 50% takes about the paper's AS counts.
+    plan = plan_hijack(reachable, 0.5)
+    assert plan.isolated_share >= 0.5
+    assert len(plan.hijacked_ases) == reachable.k_to_cover_half()

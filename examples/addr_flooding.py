@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""The ADDR-flooding attack and its detection (§IV-B, Fig. 8), live.
+
+Plants a protocol-mode malicious node that answers every GETADDR with
+fabricated unreachable addresses and pushes unsolicited ADDR floods.
+Shows (1) the victim's addrman filling with garbage, (2) the victim's
+outgoing-connection success rate collapsing, and (3) the paper's
+detection heuristic — "an honest ADDR response always contains at least
+one reachable address" — catching the flooder with zero false positives.
+
+Run:  python examples/addr_flooding.py
+"""
+
+from __future__ import annotations
+
+from repro.bitcoin import NodeConfig
+from repro.core import GetAddrConfig, GetAddrCrawler, detect_flooders
+from repro.core.pipeline import CRAWLER_ADDR
+from repro.core.reports import format_table
+from repro.netmodel import ProtocolConfig, ProtocolScenario
+from repro.netmodel.malicious import MaliciousBitcoinNode
+from repro.netmodel.population import NodeClass
+
+
+def main() -> None:
+    print("Building a 25-node network with one ADDR flooder in AS3320...")
+    scenario = ProtocolScenario(
+        ProtocolConfig(
+            n_reachable=25,
+            seed=77,
+            mining=False,
+            node_config=NodeConfig(serve_repeated_getaddr=True),
+        )
+    )
+    flooder = MaliciousBitcoinNode(
+        scenario.sim,
+        scenario.universe.allocate_address(3320),
+        population=scenario.population,
+        flood_volume=4000,
+        flood_interval=15.0,
+    )
+    scenario.nodes.append(flooder)
+    scenario.start(warmup=600.0)
+    # The flooder joins like any node: connects out, then starts pushing.
+    flooder.bootstrap(
+        [record.addr for record in scenario.population.reachable[:25]]
+    )
+    flooder.start()
+    scenario.sim.run_for(900.0)
+
+    print(f"  flooder pushed {flooder.addrs_flooded} unsolicited records")
+
+    # (1) How polluted did the network's address plane get?
+    def fake_share(node) -> float:
+        addrs = node.addrman.all_addresses()
+        if not addrs:
+            return 0.0
+        fakes = sum(
+            1
+            for addr in addrs
+            if scenario.population.classify(addr) is NodeClass.FAKE
+        )
+        return fakes / len(addrs)
+
+    neighbours = [
+        node
+        for node in scenario.running_nodes()
+        if any(p.remote_addr == flooder.addr for p in node.peers.values())
+    ]
+    print()
+    print(
+        format_table(
+            ("node", "addrman size", "fake share"),
+            [
+                (str(node.addr), len(node.addrman), round(fake_share(node), 3))
+                for node in neighbours[:6]
+            ],
+            title="Addrman pollution at the flooder's neighbours",
+        )
+    )
+
+    # (2) A fresh victim bootstrapping near the flooder.
+    victim = scenario.make_observer_node(
+        NodeConfig(track_connection_attempts=True)
+    )
+    victim.bootstrap([flooder.addr])
+    victim.start()
+    scenario.sim.run_for(600.0)
+    rate = victim.connection_success_rate()
+    print()
+    print(
+        f"Fresh victim after 10 minutes: {victim.outbound_count} outbound "
+        f"connections, success rate {rate:.1%} "
+        f"(paper's network-wide measurement: 11.2%)"
+    )
+
+    # (3) Run the detector over a crawl of every listener.
+    targets = [node.addr for node in scenario.running_nodes()]
+    crawler = GetAddrCrawler(
+        scenario.sim, CRAWLER_ADDR, GetAddrConfig(max_rounds=20)
+    )
+    crawl = crawler.run_to_completion(targets)
+    report = detect_flooders(
+        crawl,
+        reachable_known=set(targets) - {flooder.addr},
+        min_addresses=500,
+        asn_of=scenario.universe.asn_of,
+    )
+    print()
+    print(
+        format_table(
+            ("detected peer", "records sent", "unique", "ASN"),
+            [
+                (str(f.peer), f.unreachable_sent, f.unique_sent, f.asn)
+                for f in report.findings
+            ],
+            title="Detection report (heuristic: no reachable addr in any ADDR)",
+        )
+    )
+    caught = any(f.peer == flooder.addr for f in report.findings)
+    false_positives = [f for f in report.findings if f.peer != flooder.addr]
+    print()
+    print(f"Flooder caught: {caught}; false positives: {len(false_positives)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin shim so editable installs work without the `wheel` package.
+
+All metadata lives in pyproject.toml; this exists because the offline
+environment lacks `wheel`, which PEP 517 editable installs require.
+"""
+
+from setuptools import setup
+
+setup()

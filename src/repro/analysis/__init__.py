@@ -1,0 +1,31 @@
+"""Statistics helpers: summaries, CDFs, KDE, time series."""
+
+from .kde import DensityEstimate, compare_densities, kde
+from .stats import (
+    Summary,
+    ccdf,
+    cdf,
+    fraction_below,
+    k_to_cover,
+    ratio_table,
+    summarize,
+    top_k_share,
+)
+from .timeseries import Sampler, Series, set_deltas
+
+__all__ = [
+    "DensityEstimate",
+    "Sampler",
+    "Series",
+    "Summary",
+    "ccdf",
+    "cdf",
+    "compare_densities",
+    "fraction_below",
+    "k_to_cover",
+    "kde",
+    "ratio_table",
+    "set_deltas",
+    "summarize",
+    "top_k_share",
+]

@@ -1,0 +1,356 @@
+"""The address manager (``addrMan``): Bitcoin Core's new/tried tables.
+
+This reproduces the behaviours the paper's §IV-B analysis hinges on:
+
+* addresses learned from ADDR gossip land in the **new** table, bucketed by
+  (source netgroup, address netgroup); addresses we have successfully
+  connected to move to the **tried** table;
+* outbound-connection targets are drawn from new or tried with **equal
+  probability** — with *no notion of reachability*, which is the protocol
+  weakness the paper identifies;
+* GETADDR responses sample up to 23% of the tables, capped at 1000
+  addresses;
+* "terrible" addresses are evicted: never-successful after 3 attempts,
+  10 failures within a week, or not seen within the 30-day horizon — the
+  horizon the §V refinement shortens to 17 days.
+
+Deviation from Core noted here once: selection is uniform over addresses
+rather than Core's uniform-over-buckets-with-freshness-bias.  The paper's
+phenomena (success rate, pollution, eviction latency) do not depend on the
+bias, and uniform keeps selection O(1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..simnet.addresses import NetAddr, TimestampedAddr
+from ..simnet.rand import derive_seed
+from ..units import DAYS
+from . import config as cfg
+
+
+@dataclass
+class AddrInfo:
+    """Bookkeeping for one known address."""
+
+    addr: NetAddr
+    source: Optional[NetAddr]
+    #: Gossiped last-seen timestamp (from the ADDR record).
+    timestamp: float
+    #: Last time we attempted a connection.
+    last_try: float = -1.0
+    #: Last successful connection.
+    last_success: float = -1.0
+    #: Failed attempts since the last success.
+    attempts: int = 0
+    in_tried: bool = False
+    bucket: int = -1
+
+    def is_terrible(self, now: float, horizon: float) -> bool:
+        """Core's ``AddrInfo::IsTerrible`` eviction predicate."""
+        if self.last_try >= now - 60.0:
+            return False  # tried in the last minute: leave it alone
+        if self.timestamp > now + 10 * 60.0:
+            return True  # timestamp from the future
+        if self.timestamp < now - horizon:
+            return True  # not seen within the horizon
+        if self.last_success < 0 and self.attempts >= cfg.ADDRMAN_RETRIES:
+            return True  # never succeeded
+        if (
+            self.last_success >= 0
+            and self.last_success < now - cfg.ADDRMAN_MIN_FAIL_DAYS * DAYS
+            and self.attempts >= cfg.ADDRMAN_MAX_FAILURES
+        ):
+            return True
+        return False
+
+
+class _Table:
+    """One addrman table: capped buckets plus a flat index for O(1) picks."""
+
+    def __init__(self, bucket_count: int, bucket_size: int, rng: random.Random):
+        self.bucket_count = bucket_count
+        self.bucket_size = bucket_size
+        self._rng = rng
+        self._buckets: Dict[int, List[NetAddr]] = {}
+        self._flat: List[NetAddr] = []
+        self._pos: Dict[NetAddr, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._flat)
+
+    def __contains__(self, addr: NetAddr) -> bool:
+        return addr in self._pos
+
+    def bucket_len(self, bucket: int) -> int:
+        return len(self._buckets.get(bucket, ()))
+
+    def insert(self, addr: NetAddr, bucket: int) -> Optional[NetAddr]:
+        """Insert ``addr``; return an evicted address if the bucket was full."""
+        if addr in self._pos:
+            return None
+        slot = self._buckets.setdefault(bucket, [])
+        evicted = None
+        if len(slot) >= self.bucket_size:
+            victim_index = self._rng.randrange(len(slot))
+            evicted = slot[victim_index]
+            slot[victim_index] = addr
+            self._remove_flat(evicted)
+        else:
+            slot.append(addr)
+        self._pos[addr] = len(self._flat)
+        self._flat.append(addr)
+        return evicted
+
+    def remove(self, addr: NetAddr, bucket: int) -> None:
+        slot = self._buckets.get(bucket)
+        if slot is not None:
+            try:
+                slot.remove(addr)
+            except ValueError:
+                pass
+            if not slot:
+                del self._buckets[bucket]
+        self._remove_flat(addr)
+
+    def _remove_flat(self, addr: NetAddr) -> None:
+        index = self._pos.pop(addr, None)
+        if index is None:
+            return
+        last = self._flat.pop()
+        if last != addr:
+            self._flat[index] = last
+            self._pos[last] = index
+
+    def random_addr(self) -> Optional[NetAddr]:
+        if not self._flat:
+            return None
+        return self._flat[self._rng.randrange(len(self._flat))]
+
+    def sample(self, count: int) -> List[NetAddr]:
+        count = min(count, len(self._flat))
+        return self._rng.sample(self._flat, count)
+
+    def all_addresses(self) -> List[NetAddr]:
+        return list(self._flat)
+
+
+class AddrMan:
+    """The address manager of one node."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        new_buckets: int = cfg.ADDRMAN_NEW_BUCKET_COUNT,
+        tried_buckets: int = cfg.ADDRMAN_TRIED_BUCKET_COUNT,
+        bucket_size: int = cfg.ADDRMAN_BUCKET_SIZE,
+        horizon_days: float = cfg.ADDRMAN_HORIZON_DAYS,
+        key: int = 0,
+    ) -> None:
+        self._rng = rng
+        self._key = key
+        self.horizon = horizon_days * DAYS
+        self._info: Dict[NetAddr, AddrInfo] = {}
+        self._new = _Table(new_buckets, bucket_size, rng)
+        self._tried = _Table(tried_buckets, bucket_size, rng)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def new_count(self) -> int:
+        """Addresses currently in the new table."""
+        return len(self._new)
+
+    @property
+    def tried_count(self) -> int:
+        """Addresses currently in the tried table."""
+        return len(self._tried)
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    def __contains__(self, addr: NetAddr) -> bool:
+        return addr in self._info
+
+    def info(self, addr: NetAddr) -> Optional[AddrInfo]:
+        """The bookkeeping record for ``addr``, or None if unknown."""
+        return self._info.get(addr)
+
+    def all_addresses(self) -> List[NetAddr]:
+        """Every address in either table."""
+        return list(self._info)
+
+    # ------------------------------------------------------------------
+    # Bucketing
+    # ------------------------------------------------------------------
+    def _new_bucket(self, addr: NetAddr, source: Optional[NetAddr]) -> int:
+        source_group = source.group16 if source is not None else 0
+        return (
+            derive_seed(self._key, f"new:{addr.group16}:{source_group}")
+            % self._new.bucket_count
+        )
+
+    def _tried_bucket(self, addr: NetAddr) -> int:
+        return (
+            derive_seed(self._key, f"tried:{addr.ip}:{addr.port}")
+            % self._tried.bucket_count
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        addr: NetAddr,
+        now: float,
+        source: Optional[NetAddr] = None,
+        timestamp: Optional[float] = None,
+    ) -> bool:
+        """Learn ``addr`` (ADDR gossip / DNS seed).  True if newly added.
+
+        An address already known only has its gossiped timestamp refreshed
+        (Core applies a similar update rule); a new address lands in the
+        new table, evicting a random occupant of a full bucket.
+        """
+        stamp = now if timestamp is None else min(timestamp, now + 600.0)
+        existing = self._info.get(addr)
+        if existing is not None:
+            if stamp > existing.timestamp:
+                existing.timestamp = stamp
+            return False
+        info = AddrInfo(addr=addr, source=source, timestamp=stamp)
+        info.bucket = self._new_bucket(addr, source)
+        evicted = self._new.insert(addr, info.bucket)
+        if evicted is not None:
+            self._info.pop(evicted, None)
+        self._info[addr] = info
+        return True
+
+    def attempt(self, addr: NetAddr, now: float) -> None:
+        """Record a connection attempt to ``addr``."""
+        info = self._info.get(addr)
+        if info is None:
+            return
+        info.last_try = now
+        info.attempts += 1
+
+    def good(self, addr: NetAddr, now: float) -> None:
+        """Record a successful connection: promote ``addr`` to tried."""
+        info = self._info.get(addr)
+        if info is None:
+            # Learned through an inbound path we never gossiped; adopt it.
+            self.add(addr, now)
+            info = self._info[addr]
+        info.last_success = now
+        info.last_try = now
+        info.timestamp = now
+        info.attempts = 0
+        if info.in_tried:
+            return
+        self._new.remove(addr, info.bucket)
+        info.in_tried = True
+        info.bucket = self._tried_bucket(addr)
+        evicted = self._tried.insert(addr, info.bucket)
+        if evicted is not None:
+            # Core moves the displaced tried entry back to new; we follow.
+            displaced = self._info.get(evicted)
+            if displaced is not None:
+                displaced.in_tried = False
+                displaced.bucket = self._new_bucket(evicted, displaced.source)
+                re_evicted = self._new.insert(evicted, displaced.bucket)
+                if re_evicted is not None:
+                    self._info.pop(re_evicted, None)
+
+    def remove(self, addr: NetAddr) -> None:
+        """Forget ``addr`` entirely."""
+        info = self._info.pop(addr, None)
+        if info is None:
+            return
+        table = self._tried if info.in_tried else self._new
+        table.remove(addr, info.bucket)
+
+    # ------------------------------------------------------------------
+    # Selection (outbound targets)
+    # ------------------------------------------------------------------
+    def select(self, now: float, new_only: bool = False) -> Optional[NetAddr]:
+        """Pick an outbound-connection candidate.
+
+        Core's rule: with both tables non-empty, flip a fair coin between
+        them — crucially *without* any reachability information.  Terrible
+        entries encountered during selection are evicted and the draw
+        retried a bounded number of times.
+        """
+        for _ in range(8):
+            if new_only:
+                use_tried = False
+            elif len(self._tried) == 0:
+                use_tried = False
+            elif len(self._new) == 0:
+                use_tried = True
+            else:
+                use_tried = self._rng.random() < 0.5
+            table = self._tried if use_tried else self._new
+            addr = table.random_addr()
+            if addr is None:
+                return None
+            info = self._info[addr]
+            if info.is_terrible(now, self.horizon):
+                self.remove(addr)
+                continue
+            return addr
+        return None
+
+    # ------------------------------------------------------------------
+    # GETADDR responses
+    # ------------------------------------------------------------------
+    def get_addr(
+        self,
+        now: float,
+        max_count: int = cfg.ADDR_RESPONSE_MAX,
+        max_pct: int = cfg.ADDR_RESPONSE_MAX_PCT,
+        tried_only: bool = False,
+    ) -> List[TimestampedAddr]:
+        """Sample addresses for an ADDR response.
+
+        ``tried_only`` implements the §V addressing refinement.  Terrible
+        addresses discovered during sampling are evicted and skipped, so a
+        GETADDR-heavy workload also ages the tables (as in Core).
+        """
+        if tried_only:
+            pool = self._tried.all_addresses()
+        else:
+            pool = self._new.all_addresses() + self._tried.all_addresses()
+        limit = min(max_count, max(1, len(pool) * max_pct // 100)) if pool else 0
+        self._rng.shuffle(pool)
+        out: List[TimestampedAddr] = []
+        for addr in pool:
+            if len(out) >= limit:
+                break
+            info = self._info[addr]
+            if info.is_terrible(now, self.horizon):
+                self.remove(addr)
+                continue
+            out.append(TimestampedAddr(addr=addr, timestamp=info.timestamp))
+        return out
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def evict_terrible(self, now: float) -> int:
+        """Proactively evict every terrible address.  Returns the count.
+
+        Core does this lazily; the explicit sweep exists for experiments
+        that measure table composition after a horizon change (§V).
+        """
+        victims = [
+            addr
+            for addr, info in self._info.items()
+            if info.is_terrible(now, self.horizon)
+        ]
+        for addr in victims:
+            self.remove(addr)
+        return len(victims)

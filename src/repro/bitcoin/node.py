@@ -1,0 +1,848 @@
+"""The simulated Bitcoin node.
+
+This is a Python rendering of the Bitcoin Core v0.20.1 architecture the
+paper reverse-engineered (§IV-B, §IV-C):
+
+* **ThreadOpenConnections** — one outbound attempt at a time, targets drawn
+  from addrman's new/tried tables with equal probability and *no
+  reachability information*; failed attempts pace at the TCP timeout.
+* **Feeler connections** — every ~2 minutes, a short-lived probe of a
+  new-table address that promotes it to tried on success.
+* **SocketHandler / ThreadMessageHandler** (paper Fig. 9, Alg. 3) — each
+  handler pass services connections **round-robin, one message per peer**:
+  one receive from each ``vProcessMsg``, then one send from each
+  ``vSendMessage``.  Sends serialize on the node's uplink, so a block
+  queued behind pending replies reaches the last connection late — the
+  §IV-C relaying delay.
+* **Relay** — BIP152 compact blocks with high-bandwidth peers, INV/GETDATA
+  otherwise; transactions trickle behind Poisson timers.
+* **§V policies** — tried-only ADDR responses, shortened tried horizon,
+  and outbound-first/front-of-queue block relay, all switchable via
+  :class:`~repro.bitcoin.config.PolicyConfig`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..simnet.addresses import NetAddr, TimestampedAddr
+from ..simnet.rand import derive_seed
+from ..simnet.simulator import Simulator
+from ..simnet.transport import Socket
+from . import config as cfg
+from .addrman import AddrMan
+from .blockchain import Block, Blockchain
+from .config import NodeConfig
+from .mempool import Mempool, Transaction
+from .messages import (
+    Addr,
+    BlockMsg,
+    BlockTxn,
+    CmpctBlock,
+    GetAddr,
+    GetBlocks,
+    GetBlockTxn,
+    GetData,
+    Inv,
+    InvItem,
+    InvType,
+    Message,
+    Ping,
+    Pong,
+    SendCmpct,
+    TxMsg,
+    Verack,
+    Version,
+)
+from .peer import Peer
+from .relay import RelayTracker, relay_order
+
+#: Smallest gap between consecutive handler passes when work remains.
+_MIN_PASS_GAP = 0.001
+
+
+@dataclass
+class ConnectionAttempt:
+    """One outbound connection attempt and its outcome (Fig. 7 data)."""
+
+    started_at: float
+    finished_at: float
+    target: NetAddr
+    outcome: str  # "success", "failed", or "feeler-success"/"feeler-failed"
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome.endswith("success")
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class BitcoinNode:
+    """A Bitcoin peer: reachable (listening) or unreachable (NAT'd)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        addr: NetAddr,
+        config: Optional[NodeConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.addr = addr
+        self.config = config if config is not None else NodeConfig()
+        self.config.validate()
+        self.name = name if name is not None else f"node-{addr}"
+        self._rng = sim.random.stream("node", str(addr))
+        self.addrman = AddrMan(
+            rng=self._rng,
+            new_buckets=self.config.addrman_new_buckets,
+            tried_buckets=self.config.addrman_tried_buckets,
+            bucket_size=self.config.addrman_bucket_size,
+            horizon_days=self.config.policies.tried_horizon_days,
+            key=derive_seed(sim.seed, "addrman", str(addr)),
+        )
+        self.chain = Blockchain()
+        self.mempool = Mempool()
+        self.peers: Dict[Socket, Peer] = {}
+        self.running = False
+        self.started_at: Optional[float] = None
+        # Connection machinery state.
+        self._attempt_in_flight = False
+        self._connect_event = None
+        self._feeler_task = None
+        self._getaddr_task = None
+        self._ping_task = None
+        self._active_feelers = 0
+        # Handler-loop state.
+        self._handler_scheduled = False
+        self._uplink_free_at = 0.0
+        self._inbound_trickle_armed = False
+        # Compact blocks awaiting missing transactions: block_id -> Block.
+        self._pending_cmpct: Dict[int, Block] = {}
+        # Measurement hooks.
+        self.relay_tracker: Optional[RelayTracker] = (
+            RelayTracker() if self.config.track_relay_times else None
+        )
+        self.attempt_log: List[ConnectionAttempt] = []
+        self.first_relay_at: Optional[float] = None
+        #: (time, height) each time the tip advanced — lets monitors ask
+        #: "what height did this node report when last polled at t".
+        self.tip_history: List[Tuple[float, int]] = [(0.0, 0)]
+        #: Invoked with (self, block) whenever our tip advances.
+        self.on_tip_advanced: Optional[Callable[["BitcoinNode", Block], None]] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def outbound_peers(self) -> List[Peer]:
+        return [peer for peer in self.peers.values() if not peer.is_inbound]
+
+    @property
+    def inbound_peers(self) -> List[Peer]:
+        return [peer for peer in self.peers.values() if peer.is_inbound]
+
+    @property
+    def outbound_count(self) -> int:
+        """Current outbound connections, excluding feelers."""
+        return sum(1 for peer in self.peers.values() if not peer.is_inbound)
+
+    @property
+    def outbound_count_with_feelers(self) -> int:
+        """What ``getconnectioncount``-style polling sees (Fig. 6)."""
+        return self.outbound_count + self._active_feelers
+
+    @property
+    def inbound_count(self) -> int:
+        return sum(1 for peer in self.peers.values() if peer.is_inbound)
+
+    @property
+    def established_peers(self) -> List[Peer]:
+        return [peer for peer in self.peers.values() if peer.established]
+
+    def is_synchronized(self, best_height: int) -> bool:
+        """Does this node hold the up-to-date blockchain?"""
+        return self.chain.height >= best_height
+
+    def height_at(self, when: float) -> int:
+        """Chain height this node held at time ``when`` (tip history)."""
+        index = bisect.bisect_right(self.tip_history, (when, float("inf")))
+        return self.tip_history[index - 1][1] if index > 0 else 0
+
+    def connection_success_rate(self) -> Optional[float]:
+        """Fraction of logged non-feeler attempts that succeeded."""
+        attempts = [a for a in self.attempt_log if not a.outcome.startswith("feeler")]
+        if not attempts:
+            return None
+        return sum(1 for a in attempts if a.succeeded) / len(attempts)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bootstrap(self, addresses: Sequence[NetAddr]) -> int:
+        """Seed the addrman (DNS-seeder bootstrap).  Returns # added."""
+        added = 0
+        now = self.sim.now
+        for address in addresses:
+            if address == self.addr:
+                continue
+            if self.addrman.add(address, now):
+                added += 1
+        return added
+
+    def start(self) -> None:
+        """Bring the node online: listen, connect out, start feelers."""
+        if self.running:
+            return
+        self.running = True
+        self.started_at = self.sim.now
+        self.first_relay_at = None
+        self._uplink_free_at = self.sim.now
+        if self.config.listen:
+            self.sim.network.listen(self.addr, self)
+        self._ensure_connecting()
+        if self.config.feelers_enabled:
+            self._feeler_task = self.sim.call_every(
+                self.config.feeler_interval,
+                self._try_feeler,
+                start_delay=self._rng.uniform(0, self.config.feeler_interval),
+            )
+        if self.config.getaddr_repeat_interval:
+            self._getaddr_task = self.sim.call_every(
+                self.config.getaddr_repeat_interval, self._send_getaddr_round
+            )
+        if self.config.ping_interval:
+            self._ping_task = self.sim.call_every(
+                self.config.ping_interval, self._send_ping_round
+            )
+
+    def stop(self) -> None:
+        """Take the node offline, dropping every connection."""
+        if not self.running:
+            return
+        self.running = False
+        if self._feeler_task is not None:
+            self._feeler_task.stop()
+            self._feeler_task = None
+        if self._getaddr_task is not None:
+            self._getaddr_task.stop()
+            self._getaddr_task = None
+        if self._ping_task is not None:
+            self._ping_task.stop()
+            self._ping_task = None
+        if self._connect_event is not None:
+            self._connect_event.cancel()
+            self._connect_event = None
+        self.sim.network.disconnect_host(self.addr)
+        self.peers.clear()
+        self._pending_cmpct.clear()
+        self._active_feelers = 0
+
+    def restart(self) -> None:
+        """Stop and immediately start again (the §IV-D resync experiment)."""
+        self.stop()
+        self.start()
+
+    # ------------------------------------------------------------------
+    # ThreadOpenConnections
+    # ------------------------------------------------------------------
+    def _ensure_connecting(self) -> None:
+        """Schedule the next outbound attempt if slots are unfilled."""
+        if not self.running or self._attempt_in_flight:
+            return
+        if self.outbound_count >= self.config.max_outbound:
+            return
+        if self._connect_event is not None:
+            return
+        self._connect_event = self.sim.schedule(
+            self.config.connect_retry_interval, self._attempt_connection
+        )
+
+    def _attempt_connection(self) -> None:
+        self._connect_event = None
+        if not self.running or self.outbound_count >= self.config.max_outbound:
+            return
+        target = self.addrman.select(self.sim.now)
+        if target is None or target == self.addr or self._connected_to(target):
+            self._ensure_connecting()
+            return
+        self.addrman.attempt(target, self.sim.now)
+        self._attempt_in_flight = True
+        started = self.sim.now
+        self.sim.network.connect(
+            self.addr,
+            target,
+            handler=self,
+            on_result=lambda sock: self._connection_result(target, started, sock),
+            timeout=self.config.connect_timeout,
+        )
+
+    def _connection_result(
+        self, target: NetAddr, started: float, socket: Optional[Socket]
+    ) -> None:
+        self._attempt_in_flight = False
+        if self.config.track_connection_attempts:
+            self.attempt_log.append(
+                ConnectionAttempt(
+                    started_at=started,
+                    finished_at=self.sim.now,
+                    target=target,
+                    outcome="success" if socket is not None else "failed",
+                )
+            )
+        if not self.running:
+            if socket is not None:
+                socket.close()
+            return
+        if socket is None:
+            self._ensure_connecting()
+            return
+        if self.outbound_count >= self.config.max_outbound:
+            socket.close()  # slot got filled while we were handshaking
+            self._ensure_connecting()
+            return
+        peer = self._adopt_socket(socket)
+        peer.enqueue_send(
+            Version(
+                sender=self.addr,
+                receiver=peer.remote_addr,
+                start_height=self.chain.height,
+            )
+        )
+        self._wake_handler()
+        self._ensure_connecting()
+
+    def _connected_to(self, target: NetAddr) -> bool:
+        return any(peer.remote_addr == target for peer in self.peers.values())
+
+    def _adopt_socket(self, socket: Socket) -> Peer:
+        peer = Peer(socket, connected_at=self.sim.now)
+        socket.user_data = peer
+        socket.handler = self
+        self.peers[socket] = peer
+        return peer
+
+    # ------------------------------------------------------------------
+    # Feelers (footnote 1 of the paper)
+    # ------------------------------------------------------------------
+    def _try_feeler(self) -> None:
+        if not self.running:
+            return
+        target = self.addrman.select(self.sim.now, new_only=True)
+        if target is None or target == self.addr or self._connected_to(target):
+            return
+        self.addrman.attempt(target, self.sim.now)
+        self._active_feelers += 1
+        started = self.sim.now
+        self.sim.network.connect(
+            self.addr,
+            target,
+            handler=_FeelerHandler(),
+            on_result=lambda sock: self._feeler_result(target, started, sock),
+            timeout=self.config.connect_timeout,
+        )
+
+    def _feeler_result(
+        self, target: NetAddr, started: float, socket: Optional[Socket]
+    ) -> None:
+        self._active_feelers = max(0, self._active_feelers - 1)
+        success = socket is not None
+        if success:
+            self.addrman.good(target, self.sim.now)
+            socket.close()
+        if self.config.track_connection_attempts:
+            self.attempt_log.append(
+                ConnectionAttempt(
+                    started_at=started,
+                    finished_at=self.sim.now,
+                    target=target,
+                    outcome="feeler-success" if success else "feeler-failed",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Transport callbacks
+    # ------------------------------------------------------------------
+    def on_inbound_connection(self, socket: Socket) -> bool:
+        if not self.running or not self.config.listen:
+            return False
+        if self.inbound_count >= self.config.max_inbound:
+            return False
+        self._adopt_socket(socket)
+        return True
+
+    def on_message(self, socket: Socket, message: Message) -> None:
+        peer = socket.user_data
+        if peer is None or socket not in self.peers:
+            return
+        peer.process_queue.append(message)
+        self._wake_handler()
+
+    def on_disconnect(self, socket: Socket) -> None:
+        peer = self.peers.pop(socket, None)
+        if peer is None:
+            return
+        if not peer.is_inbound:
+            self._ensure_connecting()
+
+    def _drop_connection(self, socket: Socket) -> None:
+        """A spontaneous outbound-connection drop (lifetime expiry)."""
+        peer = self.peers.pop(socket, None)
+        if peer is None or not self.running:
+            return
+        if socket.open:
+            socket.close()
+        self._ensure_connecting()
+
+    # ------------------------------------------------------------------
+    # The round-robin handler engine (paper Fig. 9 / Alg. 3)
+    # ------------------------------------------------------------------
+    def _wake_handler(self) -> None:
+        if self._handler_scheduled or not self.running:
+            return
+        self._handler_scheduled = True
+        self.sim.schedule(0.0, self._handler_pass)
+
+    def _handler_pass(self) -> None:
+        self._handler_scheduled = False
+        if not self.running:
+            return
+        busy = 0.0
+        # --- ThreadMessageHandler: one message per peer per pass ---
+        for socket, peer in list(self.peers.items()):
+            if socket not in self.peers:
+                continue  # dropped by an earlier handler in this pass
+            if peer.process_queue:
+                message = peer.process_queue.popleft()
+                busy += self.config.proc_times.get(
+                    message.command, self.config.default_proc_time
+                )
+                self._process_message(peer, message)
+        # --- SocketHandler: one send per peer per pass, uplink-serialized ---
+        send_epoch = self.sim.now + busy
+        for socket, peer in list(self.peers.items()):
+            if not peer.send_queue or not socket.open:
+                continue
+            message = peer.send_queue.popleft()
+            start = max(send_epoch, self._uplink_free_at)
+            transmit = message.wire_size / self.config.uplink_bandwidth
+            self._uplink_free_at = start + transmit
+            socket.send(message, extra_delay=(start + transmit) - self.sim.now)
+            self._note_relayed(message, start + transmit)
+        # --- reschedule if work remains ---
+        more = any(
+            peer.process_queue or peer.send_queue for peer in self.peers.values()
+        )
+        if more:
+            self._handler_scheduled = True
+            self.sim.schedule(max(busy, _MIN_PASS_GAP), self._handler_pass)
+
+    def _note_relayed(self, message: Message, completed_at: float) -> None:
+        """Record relay completions for the §IV-C measurement."""
+        if self.first_relay_at is None and isinstance(
+            message, (BlockMsg, CmpctBlock)
+        ):
+            self.first_relay_at = completed_at
+        if self.relay_tracker is None:
+            return
+        if isinstance(message, (BlockMsg, CmpctBlock)):
+            self.relay_tracker.relayed(message.block_id, completed_at)
+        elif isinstance(message, Inv):
+            for item in message.items:
+                self.relay_tracker.relayed(item.object_id, completed_at)
+
+    # ------------------------------------------------------------------
+    # Message processing
+    # ------------------------------------------------------------------
+    def _process_message(self, peer: Peer, message: Message) -> None:
+        handler = self._DISPATCH.get(message.command)
+        if handler is not None:
+            handler(self, peer, message)
+
+    def _handle_version(self, peer: Peer, message: Version) -> None:
+        peer.version_received = True
+        peer.remote_height = message.start_height
+        if peer.is_inbound:
+            peer.enqueue_send(
+                Version(
+                    sender=self.addr,
+                    receiver=peer.remote_addr,
+                    start_height=self.chain.height,
+                )
+            )
+        peer.enqueue_send(Verack())
+        if peer.verack_received and not peer.established:
+            self._on_established(peer)
+
+    def _handle_verack(self, peer: Peer, message: Verack) -> None:
+        peer.verack_received = True
+        if not peer.established and peer.version_received:
+            self._on_established(peer)
+
+    def _on_established(self, peer: Peer) -> None:
+        peer.established = True
+        if not peer.is_inbound:
+            self.addrman.good(peer.remote_addr, self.sim.now)
+            if self.config.getaddr_on_connect:
+                peer.enqueue_send(GetAddr())
+                peer.sent_getaddr = True
+            if self.config.connection_lifetime_mean:
+                lifetime = self._rng.expovariate(
+                    1.0 / self.config.connection_lifetime_mean
+                )
+                self.sim.schedule(lifetime, self._drop_connection, peer.socket)
+        if self.config.listen:
+            # Self-advertisement: "a node also sends its own IP address".
+            peer.enqueue_send(
+                Addr(addresses=(TimestampedAddr(self.addr, self.sim.now),))
+            )
+        if self.config.compact_blocks:
+            high_bandwidth = self._rng.random() < self.config.hb_compact_fraction
+            peer.enqueue_send(SendCmpct(high_bandwidth=high_bandwidth))
+        self._maybe_sync_from(peer)
+
+    def _handle_ping(self, peer: Peer, message: Ping) -> None:
+        peer.enqueue_send(Pong(nonce=message.nonce))
+
+    def _handle_pong(self, peer: Peer, message: Pong) -> None:
+        pass  # keepalive bookkeeping is irrelevant to the study
+
+    def _handle_getaddr(self, peer: Peer, message: GetAddr) -> None:
+        if peer.served_getaddr and not self.config.serve_repeated_getaddr:
+            return
+        peer.served_getaddr = True
+        records = self.addrman.get_addr(
+            self.sim.now,
+            tried_only=self.config.policies.addr_from_tried_only,
+        )
+        response = self._build_addr_response(records)
+        if response:
+            peer.enqueue_send(Addr(addresses=tuple(response[:1000])))
+
+    def _build_addr_response(
+        self, records: List[TimestampedAddr]
+    ) -> List[TimestampedAddr]:
+        """Assemble the ADDR payload; subclasses (malicious nodes) override."""
+        response = list(records)
+        if self.config.listen:
+            response.insert(0, TimestampedAddr(self.addr, self.sim.now))
+        return response
+
+    def _handle_addr(self, peer: Peer, message: Addr) -> None:
+        peer.addr_messages_received += 1
+        peer.addrs_received += len(message.addresses)
+        now = self.sim.now
+        for record in message.addresses:
+            self.addrman.add(
+                record.addr, now, source=peer.remote_addr, timestamp=record.timestamp
+            )
+            peer.known_addrs.add(record.addr)
+        # Unsolicited small announcements are forwarded (Core relays fresh
+        # addrs to a couple of peers); large getaddr replies are not.
+        if 0 < len(message.addresses) <= cfg.ADDR_FORWARD_MAX:
+            self._forward_addrs(peer, message.addresses)
+
+    def _forward_addrs(
+        self, origin: Peer, records: Tuple[TimestampedAddr, ...]
+    ) -> None:
+        candidates = [
+            peer
+            for peer in self.established_peers
+            if peer is not origin
+        ]
+        if not candidates:
+            return
+        for record in records:
+            fanout = min(cfg.ADDR_FORWARD_FANOUT, len(candidates))
+            for peer in self._rng.sample(candidates, fanout):
+                if record.addr in peer.known_addrs:
+                    continue
+                peer.known_addrs.add(record.addr)
+                peer.enqueue_send(Addr(addresses=(record,)))
+
+    def _handle_inv(self, peer: Peer, message: Inv) -> None:
+        wanted: List[InvItem] = []
+        for item in message.items:
+            if item.type is InvType.BLOCK:
+                peer.known_blocks.add(item.object_id)
+                if (
+                    item.object_id not in self.chain
+                    and item.object_id not in peer.blocks_in_flight
+                    and item.object_id not in self._pending_cmpct
+                ):
+                    if len(peer.blocks_in_flight) < cfg.MAX_BLOCKS_IN_TRANSIT:
+                        peer.blocks_in_flight.add(item.object_id)
+                        wanted.append(item)
+            else:
+                peer.known_txs.add(item.object_id)
+                if item.object_id not in self.mempool:
+                    wanted.append(item)
+        if wanted:
+            peer.enqueue_send(GetData(items=tuple(wanted)))
+
+    def _handle_getdata(self, peer: Peer, message: GetData) -> None:
+        for item in message.items:
+            if item.type is InvType.BLOCK:
+                block = self.chain.get(item.object_id)
+                if block is not None:
+                    peer.known_blocks.add(block.block_id)
+                    peer.enqueue_send(BlockMsg(block=block))
+            else:
+                tx = self.mempool.get(item.object_id)
+                if tx is not None:
+                    peer.known_txs.add(tx.txid)
+                    peer.enqueue_send(TxMsg(txid=tx.txid, size=tx.size))
+
+    def _handle_getblocks(self, peer: Peer, message: GetBlocks) -> None:
+        ids = self.chain.ids_above(message.from_height, limit=500)
+        if ids:
+            peer.enqueue_send(
+                Inv(items=tuple(InvItem(InvType.BLOCK, bid) for bid in ids))
+            )
+
+    def _handle_block(self, peer: Peer, message: BlockMsg) -> None:
+        peer.blocks_in_flight.discard(message.block_id)
+        self._accept_block(peer, message.block)
+
+    def _handle_sendcmpct(self, peer: Peer, message: SendCmpct) -> None:
+        peer.wants_cmpct_hb = message.high_bandwidth
+
+    def _handle_cmpctblock(self, peer: Peer, message: CmpctBlock) -> None:
+        block = message.block
+        peer.known_blocks.add(block.block_id)
+        if block.block_id in self.chain or block.block_id in self._pending_cmpct:
+            return
+        if self.relay_tracker is not None:
+            self.relay_tracker.saw(block.block_id, "block", self.sim.now)
+        missing = self.mempool.missing_from(block.txids)
+        if not missing:
+            self._accept_block(peer, block)
+            return
+        self._pending_cmpct[block.block_id] = block
+        peer.enqueue_send(
+            GetBlockTxn(block_id=block.block_id, txids=tuple(missing))
+        )
+
+    def _handle_getblocktxn(self, peer: Peer, message: GetBlockTxn) -> None:
+        block = self.chain.get(message.block_id)
+        if block is None:
+            return
+        total = 0
+        for txid in message.txids:
+            tx = self.mempool.get(txid)
+            total += tx.size if tx is not None else 350
+        peer.enqueue_send(
+            BlockTxn(
+                block_id=message.block_id,
+                txids=tuple(message.txids),
+                total_size=total,
+            )
+        )
+
+    def _handle_blocktxn(self, peer: Peer, message: BlockTxn) -> None:
+        block = self._pending_cmpct.pop(message.block_id, None)
+        if block is None:
+            return
+        for txid in message.txids:
+            self.mempool.add(Transaction(txid=txid, created_at=self.sim.now))
+        self._accept_block(peer, block)
+
+    def _handle_tx(self, peer: Peer, message: TxMsg) -> None:
+        peer.known_txs.add(message.txid)
+        tx = Transaction(txid=message.txid, size=message.size, created_at=self.sim.now)
+        if not self.mempool.add(tx):
+            return
+        if self.relay_tracker is not None:
+            self.relay_tracker.saw(tx.txid, "tx", self.sim.now)
+        self._relay_tx(tx, exclude=peer)
+
+    _DISPATCH: Dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+    # Block acceptance and relay
+    # ------------------------------------------------------------------
+    def _accept_block(self, peer: Optional[Peer], block: Block) -> None:
+        """Accept a full (or reconstructed) block; relay on tip advance."""
+        if self.relay_tracker is not None:
+            self.relay_tracker.saw(block.block_id, "block", self.sim.now)
+        if peer is not None:
+            peer.known_blocks.add(block.block_id)
+        if block.block_id in self.chain:
+            return
+        old_height = self.chain.height
+        advanced = self.chain.add_block(block)
+        self.mempool.remove_all(block.txids)
+        if peer is not None and block.height > peer.remote_height:
+            peer.remote_height = block.height
+        if (
+            not advanced
+            and block.block_id not in self.chain
+            and peer is not None
+        ):
+            # Stored as an orphan: we are missing ancestors.  Backfill
+            # from the sender (headers-first recovery, simplified).
+            if not peer.blocks_in_flight:
+                peer.enqueue_send(GetBlocks(from_height=self.chain.height))
+        if advanced:
+            self.tip_history.append((self.sim.now, self.chain.height))
+            # Relay every newly connected main-chain block (orphans may
+            # connect several at once).
+            for height in range(old_height + 1, self.chain.height + 1):
+                connected = self.chain.block_at_height(height)
+                if connected is not None:
+                    self._relay_block(connected)
+            if self.on_tip_advanced is not None:
+                self.on_tip_advanced(self, self.chain.tip)
+        if peer is not None:
+            self._maybe_sync_from(peer)
+
+    def submit_block(self, block: Block) -> None:
+        """Inject a locally mined block (the mining process calls this)."""
+        if self.relay_tracker is not None:
+            self.relay_tracker.saw(block.block_id, "block", self.sim.now)
+        self._accept_block(None, block)
+        self._wake_handler()
+
+    def submit_tx(self, tx: Transaction) -> None:
+        """Inject a locally originated transaction (wallet behaviour)."""
+        if not self.mempool.add(tx):
+            return
+        if self.relay_tracker is not None:
+            self.relay_tracker.saw(tx.txid, "tx", self.sim.now)
+        self._relay_tx(tx, exclude=None)
+        self._wake_handler()
+
+    def _relay_block(self, block: Block) -> None:
+        prioritize = self.config.policies.prioritize_block_relay
+        for peer in relay_order(self.established_peers, outbound_first=prioritize):
+            if block.block_id in peer.known_blocks:
+                continue
+            peer.known_blocks.add(block.block_id)
+            if self.config.compact_blocks and peer.wants_cmpct_hb:
+                message: Message = CmpctBlock(block=block)
+            else:
+                message = Inv(items=(InvItem(InvType.BLOCK, block.block_id),))
+            peer.enqueue_send(message, to_front=prioritize)
+            if self.relay_tracker is not None:
+                self.relay_tracker.enqueued(block.block_id)
+
+    def _relay_tx(self, tx: Transaction, exclude: Optional[Peer]) -> None:
+        for peer in self.established_peers:
+            if peer is exclude or tx.txid in peer.known_txs:
+                continue
+            peer.pending_tx_invs.add(tx.txid)
+            if self.relay_tracker is not None:
+                self.relay_tracker.enqueued(tx.txid)
+            self._schedule_trickle(peer)
+
+    def _schedule_trickle(self, peer: Peer) -> None:
+        """Arm the Poisson inv-trickle timer covering ``peer``.
+
+        Outbound peers each have their own timer; inbound peers share one
+        node-wide timer, as Bitcoin Core's ``PoissonNextSendInbound`` does
+        to blunt timing-based topology inference.
+        """
+        if peer.is_inbound:
+            if self._inbound_trickle_armed:
+                return
+            mean = self.config.tx_inv_interval_inbound
+            delay = self._rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+            self._inbound_trickle_armed = True
+            self.sim.schedule(delay, self._flush_inbound_tx_invs)
+            return
+        if peer.next_tx_inv_at > self.sim.now:
+            return  # timer already pending
+        mean = self.config.tx_inv_interval_outbound
+        delay = self._rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+        peer.next_tx_inv_at = self.sim.now + delay
+        self.sim.schedule(delay, self._flush_tx_invs, peer)
+
+    def _flush_inbound_tx_invs(self) -> None:
+        self._inbound_trickle_armed = False
+        if not self.running:
+            return
+        for peer in list(self.peers.values()):
+            if peer.is_inbound:
+                self._flush_peer_invs(peer)
+
+    def _flush_tx_invs(self, peer: Peer) -> None:
+        peer.next_tx_inv_at = 0.0
+        self._flush_peer_invs(peer)
+
+    def _flush_peer_invs(self, peer: Peer) -> None:
+        if peer.socket not in self.peers or not peer.established:
+            return
+        if not peer.pending_tx_invs:
+            return
+        txids = sorted(peer.pending_tx_invs)
+        peer.pending_tx_invs.clear()
+        peer.known_txs.update(txids)
+        peer.enqueue_send(
+            Inv(items=tuple(InvItem(InvType.TX, txid) for txid in txids))
+        )
+        self._wake_handler()
+
+    def _send_getaddr_round(self) -> None:
+        """Periodic GETADDR to every peer (request-load generation)."""
+        if not self.running:
+            return
+        for peer in self.established_peers:
+            peer.enqueue_send(GetAddr())
+        self._wake_handler()
+
+    def _send_ping_round(self) -> None:
+        """Periodic PING keepalive to every established peer."""
+        if not self.running:
+            return
+        for peer in self.established_peers:
+            peer.enqueue_send(Ping(nonce=self._rng.getrandbits(32)))
+        self._wake_handler()
+
+    # ------------------------------------------------------------------
+    # Initial block download
+    # ------------------------------------------------------------------
+    def _maybe_sync_from(self, peer: Peer) -> None:
+        """Ask ``peer`` for block inventory if it claims a longer chain."""
+        if peer.remote_height > self.chain.height and not peer.blocks_in_flight:
+            peer.enqueue_send(GetBlocks(from_height=self.chain.height))
+
+    def __repr__(self) -> str:
+        kind = "reachable" if self.config.listen else "unreachable"
+        return (
+            f"BitcoinNode({self.addr}, {kind}, height={self.chain.height}, "
+            f"out={self.outbound_count}/{self.config.max_outbound}, "
+            f"in={self.inbound_count})"
+        )
+
+
+BitcoinNode._DISPATCH = {
+    "version": BitcoinNode._handle_version,
+    "verack": BitcoinNode._handle_verack,
+    "ping": BitcoinNode._handle_ping,
+    "pong": BitcoinNode._handle_pong,
+    "getaddr": BitcoinNode._handle_getaddr,
+    "addr": BitcoinNode._handle_addr,
+    "inv": BitcoinNode._handle_inv,
+    "getdata": BitcoinNode._handle_getdata,
+    "getblocks": BitcoinNode._handle_getblocks,
+    "block": BitcoinNode._handle_block,
+    "sendcmpct": BitcoinNode._handle_sendcmpct,
+    "cmpctblock": BitcoinNode._handle_cmpctblock,
+    "getblocktxn": BitcoinNode._handle_getblocktxn,
+    "blocktxn": BitcoinNode._handle_blocktxn,
+    "tx": BitcoinNode._handle_tx,
+}
+
+
+class _FeelerHandler:
+    """Socket handler for feeler connections: connect, verify, drop."""
+
+    def on_message(self, socket: Socket, message: Message) -> None:
+        pass  # a feeler never processes protocol traffic
+
+    def on_disconnect(self, socket: Socket) -> None:
+        pass

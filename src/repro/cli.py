@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands run the paper's experiments at a chosen scale and print the
+paper-vs-measured tables; ``--export DIR`` additionally writes the raw
+figure data as CSV.
+
+Commands
+--------
+``campaign``   the Fig. 2 crawl campaign (Figs. 3-5, 8, 12, 13, Table I)
+``sync``       the Fig. 1 contrast (2019-like vs 2020-like churn)
+``relay``      the Fig. 10/11 relay-delay measurement
+``conn``       the Fig. 6/7 connection experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from . import core
+from .bitcoin import NodeConfig
+from .core import export as export_mod
+from .core.reports import comparison_table, format_table
+from .netmodel import (
+    LongitudinalConfig,
+    LongitudinalScenario,
+    ProtocolConfig,
+    ProtocolScenario,
+    calibration as cal,
+)
+from .units import DAYS, HOURS
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    scenario = LongitudinalScenario(
+        LongitudinalConfig(
+            scale=args.scale, snapshots=args.snapshots, seed=args.seed
+        )
+    )
+    runner = core.CampaignRunner(scenario)
+    print(
+        f"campaign: scale={args.scale} snapshots={args.snapshots} "
+        f"population={scenario.population.summary()}"
+    )
+    result = runner.run()
+    s = args.scale
+    fig4 = result.fig4_series()
+    fig5 = result.fig5_series()
+    stats = result.churn_stats()
+    interval = result.churn_matrix().snapshot_interval
+    detection = result.merged_detection(scenario.universe.asn_of)
+    print(
+        comparison_table(
+            [
+                ("unreachable / snapshot", cal.UNREACHABLE_PER_SNAPSHOT * s,
+                 float(np.mean(fig4["per_snapshot"]))),
+                ("cumulative unreachable", cal.CUMULATIVE_UNREACHABLE * s,
+                 fig4["cumulative"][-1]),
+                ("responsive / snapshot", cal.RESPONSIVE_PER_SNAPSHOT * s,
+                 float(np.mean(fig5["per_snapshot"]))),
+                ("ADDR reachable share", cal.ADDR_REACHABLE_SHARE,
+                 result.mean_addr_reachable_share()),
+                ("flooders detected", max(1, round(cal.MALICIOUS_NODE_COUNT * s)),
+                 detection.count),
+                ("always-on nodes", cal.ALWAYS_ON_NODES * s, stats.always_on),
+                ("daily departures", cal.DAILY_CHURN_NODES * s,
+                 stats.mean_daily_departures(interval)),
+                ("mean lifetime (days)", cal.MEAN_NODE_LIFETIME_DAYS,
+                 stats.mean_lifetime / DAYS),
+            ],
+            title="Campaign (paper values scaled where counts)",
+        )
+    )
+    from .core.figures import dual_series, presence_matrix
+
+    print()
+    print("Fig. 4 (unreachable addresses per snapshot / cumulative):")
+    print(dual_series(fig4["per_snapshot"], fig4["cumulative"]))
+    print()
+    print("Fig. 12 (presence matrix, downsampled):")
+    print(presence_matrix(result.churn_matrix().matrix, max_rows=16, max_cols=60))
+    if args.export:
+        out = Path(args.export)
+        export_mod.export_campaign_series(result, out / "campaign_series.csv")
+        export_mod.export_churn(stats, out / "daily_churn.csv")
+        export_mod.export_lifetimes(stats, out / "lifetimes.csv")
+        export_mod.export_detection(detection, out / "flooders.csv")
+        for name, report in result.hosting_reports(
+            scenario.universe.asn_of
+        ).items():
+            export_mod.export_hosting(report, out / f"hosting_{name}.csv")
+        print(f"exported CSVs to {out}/")
+    return 0
+
+
+def _cmd_sync(args: argparse.Namespace) -> int:
+    base = core.SyncCampaignConfig(
+        n_reachable=args.nodes,
+        duration=args.hours * HOURS,
+        seed=args.seed,
+    )
+    print(
+        f"sync: nodes={args.nodes} duration={args.hours}h — running 2019 "
+        f"and 2020 churn levels..."
+    )
+    results = core.run_2019_vs_2020(base)
+    r2019, r2020 = results["2019"], results["2020"]
+    print(
+        comparison_table(
+            [
+                ("mean sync 2019 (%)", cal.SYNC_MEAN_2019, r2019.mean),
+                ("mean sync 2020 (%)", cal.SYNC_MEAN_2020, r2020.mean),
+                ("sync departures/10min 2019", cal.SYNC_DEPARTURES_2019,
+                 r2019.sync_departures_per_10min),
+                ("sync departures/10min 2020", cal.SYNC_DEPARTURES_2020,
+                 r2020.sync_departures_per_10min),
+            ],
+            title="Fig. 1 / §IV-D",
+        )
+    )
+    from .core.figures import density_overlay
+
+    print()
+    print("Fig. 1 kernel densities (x: 0..100% synchronized):")
+    print(
+        density_overlay(
+            {label: result.density() for label, result in results.items()}
+        )
+    )
+    if args.export:
+        out = Path(args.export)
+        for label, result in results.items():
+            export_mod.export_sync_samples(
+                result, out / f"sync_samples_{label}.csv", label=label
+            )
+            export_mod.export_density(
+                result.density(), out / f"sync_kde_{label}.csv"
+            )
+        print(f"exported CSVs to {out}/")
+    return 0
+
+
+def _cmd_relay(args: argparse.Namespace) -> int:
+    config = core.RelayExperimentConfig(
+        duration=args.hours * HOURS, n_reachable=args.nodes, seed=args.seed
+    )
+    print(f"relay: nodes={args.nodes} duration={args.hours}h ...")
+    result = core.run_relay_experiment(config)
+    blocks = result.block_summary()
+    txs = result.tx_summary()
+    print(
+        comparison_table(
+            [
+                ("block relay mean (s)", cal.BLOCK_RELAY_MEAN, blocks.mean),
+                ("block relay max (s)", cal.BLOCK_RELAY_MAX, blocks.maximum),
+                ("tx relay mean (s)", cal.TX_RELAY_MEAN, txs.mean),
+                ("tx relay max (s)", cal.TX_RELAY_MAX, txs.maximum),
+            ],
+            title="Figs. 10-11 (1 s quantization)",
+        )
+    )
+    if args.export:
+        out = Path(args.export)
+        export_mod.export_relay_times(result, out / "relay_times.csv")
+        print(f"exported CSVs to {out}/")
+    return 0
+
+
+def _cmd_conn(args: argparse.Namespace) -> int:
+    scenario = ProtocolScenario(
+        ProtocolConfig(
+            n_reachable=args.nodes,
+            seed=args.seed,
+            block_interval=600.0,
+            churn_per_10min=3.0,
+        )
+    )
+    print(f"conn: warming a {args.nodes}-node world...")
+    scenario.start(warmup=1200.0)
+    stability = core.run_connection_stability(
+        scenario,
+        observer_config=NodeConfig(
+            track_connection_attempts=True, connection_lifetime_mean=150.0
+        ),
+    )
+    success = core.run_connection_success(scenario, runs=args.runs)
+    print(
+        comparison_table(
+            [
+                ("mean outgoing connections", cal.MEAN_OUTGOING_CONNECTIONS,
+                 stability.mean_connections),
+                ("time below 8 connections", cal.TIME_BELOW_8_CONNECTIONS,
+                 stability.fraction_below_8),
+                ("connection success rate", cal.CONNECTION_SUCCESS_RATE,
+                 success.overall_rate),
+                ("worst-run success rate",
+                 cal.CONNECTION_WORST_RUN[0] / cal.CONNECTION_WORST_RUN[1],
+                 success.worst_run.success_rate),
+            ],
+            title="Figs. 6-7",
+        )
+    )
+    print(
+        format_table(
+            ("run", "attempts", "successes"),
+            [
+                (index + 1, run.attempts, run.successes)
+                for index, run in enumerate(success.runs)
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ICDCS'21 Bitcoin-synchronization study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run the Fig. 2 crawl campaign")
+    campaign.add_argument("--scale", type=float, default=0.01)
+    campaign.add_argument("--snapshots", type=int, default=12)
+    campaign.add_argument("--seed", type=int, default=42)
+    campaign.add_argument("--export", type=str, default=None, metavar="DIR")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    sync = sub.add_parser("sync", help="run the Fig. 1 churn contrast")
+    sync.add_argument("--nodes", type=int, default=60)
+    sync.add_argument("--hours", type=float, default=2.0)
+    sync.add_argument("--seed", type=int, default=21)
+    sync.add_argument("--export", type=str, default=None, metavar="DIR")
+    sync.set_defaults(func=_cmd_sync)
+
+    relay = sub.add_parser("relay", help="run the Fig. 10/11 relay experiment")
+    relay.add_argument("--nodes", type=int, default=30)
+    relay.add_argument("--hours", type=float, default=2.0)
+    relay.add_argument("--seed", type=int, default=11)
+    relay.add_argument("--export", type=str, default=None, metavar="DIR")
+    relay.set_defaults(func=_cmd_relay)
+
+    conn = sub.add_parser("conn", help="run the Fig. 6/7 connection experiments")
+    conn.add_argument("--nodes", type=int, default=60)
+    conn.add_argument("--runs", type=int, default=5)
+    conn.add_argument("--seed", type=int, default=5)
+    conn.set_defaults(func=_cmd_conn)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

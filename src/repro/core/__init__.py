@@ -1,0 +1,143 @@
+"""The paper's contribution: measurement and root-cause-analysis toolkit.
+
+Implements the Fig. 2 data-collection workflow (address crawler, GETADDR
+crawler, VER prober), the four root-cause analyses (unreachable network,
+addressing protocol, relaying protocol, churn), the malicious-peer
+detector, the routing-attack revisit, and the experiment drivers for every
+figure in §IV.
+"""
+
+from .addr_analysis import AddrComposition, classify_harvest, composition, table_composition
+from .churn_matrix import (
+    ChurnMatrix,
+    ChurnStats,
+    SyncDepartureStats,
+    analyze,
+    build_matrix,
+    departures_between,
+    synchronized_departures,
+)
+from .conn_experiments import (
+    ResyncResult,
+    StabilityResult,
+    SuccessResult,
+    SuccessRun,
+    run_connection_stability,
+    run_connection_success,
+    run_resync_experiment,
+    summarize_attempt_durations,
+)
+from . import export, figures
+from .crawler import AddressCrawler, CrawlInput, SourceStats
+from .getaddr import CrawlResult, GetAddrConfig, GetAddrCrawler, PeerHarvest
+from .malicious_detect import (
+    DetectionReport,
+    MaliciousFinding,
+    detect_flooders,
+    merge_reports,
+)
+from .pipeline import (
+    CRAWLER_ADDR,
+    CampaignConfig,
+    CampaignResult,
+    CampaignRunner,
+    SnapshotResult,
+)
+from .prober import ProbeCampaignResult, ProbeConfig, VerProber
+from .propagation import (
+    BlockPropagation,
+    PropagationTracker,
+    measure_propagation,
+)
+from .relay_experiments import (
+    RelayExperimentConfig,
+    RelayExperimentResult,
+    build_relay_scenario,
+    run_relay_experiment,
+)
+from .reports import comparison_table, format_table, series_preview
+from .routing import (
+    ASHostingRow,
+    HijackPlan,
+    HostingReport,
+    TargetShift,
+    common_top_ases,
+    hosting_report,
+    plan_hijack,
+    target_shifts,
+)
+from .sync_experiments import (
+    SyncCampaignConfig,
+    SyncCampaignResult,
+    run_2019_vs_2020,
+    run_sync_campaign,
+)
+from .sync_monitor import SyncMonitor, SyncSnapshot, best_height_at
+
+__all__ = [
+    "CRAWLER_ADDR",
+    "ASHostingRow",
+    "AddrComposition",
+    "AddressCrawler",
+    "BlockPropagation",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "ChurnMatrix",
+    "ChurnStats",
+    "CrawlInput",
+    "CrawlResult",
+    "DetectionReport",
+    "GetAddrConfig",
+    "GetAddrCrawler",
+    "HijackPlan",
+    "HostingReport",
+    "MaliciousFinding",
+    "PeerHarvest",
+    "ProbeCampaignResult",
+    "ProbeConfig",
+    "PropagationTracker",
+    "RelayExperimentConfig",
+    "RelayExperimentResult",
+    "ResyncResult",
+    "SnapshotResult",
+    "SourceStats",
+    "StabilityResult",
+    "SuccessResult",
+    "SuccessRun",
+    "SyncCampaignConfig",
+    "SyncCampaignResult",
+    "SyncDepartureStats",
+    "SyncMonitor",
+    "SyncSnapshot",
+    "TargetShift",
+    "VerProber",
+    "analyze",
+    "best_height_at",
+    "build_matrix",
+    "build_relay_scenario",
+    "classify_harvest",
+    "common_top_ases",
+    "comparison_table",
+    "composition",
+    "departures_between",
+    "detect_flooders",
+    "export",
+    "figures",
+    "format_table",
+    "hosting_report",
+    "measure_propagation",
+    "merge_reports",
+    "plan_hijack",
+    "run_2019_vs_2020",
+    "run_connection_stability",
+    "run_connection_success",
+    "run_relay_experiment",
+    "run_resync_experiment",
+    "run_sync_campaign",
+    "series_preview",
+    "summarize_attempt_durations",
+    "synchronized_departures",
+    "table_composition",
+    "target_shifts",
+]

@@ -1,0 +1,81 @@
+"""The address crawler: merge Bitnodes + DNS views, drop the blacklist.
+
+This is the left half of the paper's Fig. 2 workflow.  Its outputs are the
+Fig. 3 statistics: addresses per source, overlap, critical-infrastructure
+exclusions, and the final target list handed to the network crawler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Set
+
+from ..simnet.addresses import NetAddr
+from ..netmodel.seeds import AddressViews
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """Fig. 3a/3b numbers for one snapshot."""
+
+    bitnodes_total: int
+    dns_total: int
+    common_total: int
+    excluded_bitnodes: int
+    excluded_dns: int
+    excluded_common: int
+    provided: int  # addresses handed to the network crawler
+
+    @property
+    def union_total(self) -> int:
+        return self.bitnodes_total + self.dns_total - self.common_total
+
+
+@dataclass
+class CrawlInput:
+    """The target list for one snapshot, plus provenance."""
+
+    when: float
+    targets: List[NetAddr]
+    stats: SourceStats
+    bitnodes: Set[NetAddr]
+    dns: Set[NetAddr]
+    excluded: Set[NetAddr]
+
+    @property
+    def known_source_addrs(self) -> Set[NetAddr]:
+        """Everything either source listed (used to filter 'reachable')."""
+        return self.bitnodes | self.dns
+
+
+class AddressCrawler:
+    """Merges the two address sources and applies the ethics blacklist."""
+
+    def __init__(self, is_blacklisted: Callable[[NetAddr], bool]) -> None:
+        #: Predicate marking critical-infrastructure addresses (§III-A).
+        self._is_blacklisted = is_blacklisted
+
+    def collect(self, views: AddressViews) -> CrawlInput:
+        """One snapshot's worth of targets and Fig. 3 statistics."""
+        common = views.common
+        excluded = {
+            addr for addr in views.union if self._is_blacklisted(addr)
+        }
+        targets = sorted(views.union - excluded)
+        stats = SourceStats(
+            bitnodes_total=len(views.bitnodes),
+            dns_total=len(views.dns),
+            common_total=len(common),
+            excluded_bitnodes=len(views.bitnodes & excluded),
+            excluded_dns=len(views.dns & excluded),
+            excluded_common=len(common & excluded),
+            provided=len(targets),
+        )
+        return CrawlInput(
+            when=views.when,
+            targets=targets,
+            stats=stats,
+            bitnodes=set(views.bitnodes),
+            dns=set(views.dns),
+            excluded=excluded,
+        )

@@ -1,0 +1,150 @@
+"""Malicious-peer detection heuristic (§IV-B, Fig. 8).
+
+The paper's heuristic: every honest ADDR response contains at least one
+reachable address, because (1) the sender always includes its own —
+reachable — address, and (2) a reachable node is connected to other
+reachable nodes whose addresses populate its tried table.  A peer whose
+*entire* harvested ADDR output contains no reachable address is therefore
+flooding, and the volume of unreachable addresses it pushed measures the
+attack (73 nodes; 8 above 100K addresses; one above 400K; 59% in AS3320).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..simnet.addresses import NetAddr
+from .getaddr import CrawlResult
+
+
+@dataclass(frozen=True)
+class MaliciousFinding:
+    """One detected flooder.
+
+    ``unreachable_sent`` counts ADDR *records* the peer sent (the Fig. 8
+    y-axis: a flooder serving fresh fabrications across repeated requests
+    and snapshots can "send" far more addresses than the network holds —
+    the paper's top flooder sent >400K against a 694K unreachable total).
+    ``unique_sent`` counts distinct addresses.
+    """
+
+    peer: NetAddr
+    unreachable_sent: int
+    unique_sent: int
+    addr_messages: int
+    asn: Optional[int] = None
+
+
+@dataclass
+class DetectionReport:
+    """The Fig. 8 dataset."""
+
+    findings: List[MaliciousFinding]
+    #: Detection threshold actually applied (addresses sent).
+    min_addresses: int
+
+    @property
+    def count(self) -> int:
+        return len(self.findings)
+
+    def count_over(self, threshold: int) -> int:
+        """How many flooders sent more than ``threshold`` addresses."""
+        return sum(1 for f in self.findings if f.unreachable_sent > threshold)
+
+    @property
+    def max_flood(self) -> int:
+        return max((f.unreachable_sent for f in self.findings), default=0)
+
+    def as_share_by_asn(self) -> Dict[int, float]:
+        """Fraction of flooders per AS (the 59%-in-AS3320 statistic)."""
+        if not self.findings:
+            return {}
+        by_asn: Dict[int, int] = {}
+        for finding in self.findings:
+            if finding.asn is not None:
+                by_asn[finding.asn] = by_asn.get(finding.asn, 0) + 1
+        return {
+            asn: count / len(self.findings) for asn, count in by_asn.items()
+        }
+
+    def flood_volumes(self) -> List[int]:
+        """Sorted per-flooder volumes (the Fig. 8 y-series)."""
+        return sorted(
+            (f.unreachable_sent for f in self.findings), reverse=True
+        )
+
+
+def detect_flooders(
+    result: CrawlResult,
+    reachable_known: Set[NetAddr],
+    min_addresses: int = 1000,
+    asn_of: Optional[Callable[[NetAddr], Optional[int]]] = None,
+) -> DetectionReport:
+    """Apply the heuristic to a crawl pass.
+
+    A peer is flagged when it (a) answered with at least ``min_addresses``
+    addresses in total (the paper used 1,000 — one full ADDR response) and
+    (b) *none* of them, its own included, was a known reachable address.
+    """
+    findings: List[MaliciousFinding] = []
+    for harvest in result.harvests.values():
+        if not harvest.connected or harvest.total_records < min_addresses:
+            continue
+        if any(addr in reachable_known for addr in harvest.addresses):
+            continue
+        findings.append(
+            MaliciousFinding(
+                peer=harvest.target,
+                unreachable_sent=harvest.total_records,
+                unique_sent=len(harvest.addresses),
+                addr_messages=harvest.addr_messages,
+                asn=asn_of(harvest.target) if asn_of is not None else None,
+            )
+        )
+    findings.sort(key=lambda f: f.unreachable_sent, reverse=True)
+    return DetectionReport(findings=findings, min_addresses=min_addresses)
+
+
+def merge_reports(
+    reports: List[DetectionReport],
+    asn_of: Optional[Callable[[NetAddr], Optional[int]]] = None,
+) -> DetectionReport:
+    """Merge per-snapshot reports into a campaign view.
+
+    A flooder seen in several snapshots is counted once; its sent-record
+    volume accumulates across snapshots (each snapshot is a fresh crawl
+    session pulling the flooder again), while the unique count takes the
+    maximum observed.
+    """
+    merged: Dict[NetAddr, MaliciousFinding] = {}
+    min_addresses = min((r.min_addresses for r in reports), default=1000)
+    for report in reports:
+        for finding in report.findings:
+            existing = merged.get(finding.peer)
+            if existing is None:
+                merged[finding.peer] = finding
+            else:
+                merged[finding.peer] = MaliciousFinding(
+                    peer=finding.peer,
+                    unreachable_sent=existing.unreachable_sent
+                    + finding.unreachable_sent,
+                    unique_sent=max(existing.unique_sent, finding.unique_sent),
+                    addr_messages=existing.addr_messages + finding.addr_messages,
+                    asn=existing.asn if existing.asn is not None else finding.asn,
+                )
+    findings = sorted(
+        merged.values(), key=lambda f: f.unreachable_sent, reverse=True
+    )
+    if asn_of is not None:
+        findings = [
+            MaliciousFinding(
+                peer=f.peer,
+                unreachable_sent=f.unreachable_sent,
+                unique_sent=f.unique_sent,
+                addr_messages=f.addr_messages,
+                asn=f.asn if f.asn is not None else asn_of(f.peer),
+            )
+            for f in findings
+        ]
+    return DetectionReport(findings=findings, min_addresses=min_addresses)

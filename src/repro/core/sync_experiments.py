@@ -1,0 +1,128 @@
+"""The Fig. 1 synchronization campaign: 2019-like vs 2020-like churn.
+
+The paper's headline observation: with the reachable network size flat at
+~10K, mean synchronization fell from 72.02% (Sep-Dec 2019) to 61.91%
+(Jan-Apr 2020), and the only network parameter that moved was churn among
+*synchronized* nodes (3.9 → 7.6 departures per 10 minutes).
+
+This driver runs a live protocol network under a configurable churn rate
+and measures synchronization exactly as Bitnodes does — periodic sweeps
+with per-node poll staleness — yielding the sample series Fig. 1's kernel
+densities are built from.
+
+Time-scale compression: the simulated chain is short, so a replacement
+node's catch-up takes minutes instead of days; the churn rate is raised
+correspondingly (the dimensionless product churn_rate x catchup_time is
+what sets the unsynchronized mass).  The 2019:2020 rate *ratio* is kept
+at the paper's ~1:2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.kde import DensityEstimate, kde
+from ..netmodel.scenario import ProtocolConfig, ProtocolScenario
+from .sync_monitor import SyncMonitor
+
+
+@dataclass
+class SyncCampaignConfig:
+    """One synchronization measurement campaign."""
+
+    #: Standing reachable network size.
+    n_reachable: int = 80
+    #: Live churn: departures per 10 minutes (compressed; see module doc).
+    churn_per_10min: float = 5.0
+    block_interval: float = 600.0
+    #: Historical chain replacements must download (compressed IBD).
+    pre_mined_blocks: int = 600
+    #: Bitnodes-style sweep period and per-node poll staleness.
+    sample_period: float = 200.0
+    poll_spread: float = 320.0
+    warmup: float = 900.0
+    duration: float = 3 * 3600.0
+    seed: int = 21
+
+
+@dataclass
+class SyncCampaignResult:
+    """The measured synchronization series and its derived statistics."""
+
+    sync_samples: List[float]
+    sync_departures_per_10min: float
+    total_departures: int
+    config: SyncCampaignConfig
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.sync_samples))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.sync_samples))
+
+    def density(self, **kwargs) -> DensityEstimate:
+        """KDE of the sync samples (one Fig. 1 curve)."""
+        return kde(self.sync_samples, **kwargs)
+
+
+def run_sync_campaign(
+    config: Optional[SyncCampaignConfig] = None,
+) -> SyncCampaignResult:
+    """Run one campaign and return its synchronization distribution."""
+    config = config if config is not None else SyncCampaignConfig()
+    scenario = ProtocolScenario(
+        ProtocolConfig(
+            seed=config.seed,
+            n_reachable=config.n_reachable,
+            churn_per_10min=config.churn_per_10min,
+            block_interval=config.block_interval,
+            pre_mined_blocks=config.pre_mined_blocks,
+        )
+    )
+    scenario.start(warmup=config.warmup)
+    monitor = SyncMonitor(
+        scenario, period=config.sample_period, poll_spread=config.poll_spread
+    )
+    scenario.sim.run_for(config.duration)
+    monitor.stop()
+    departures = monitor.departure_stats()
+    return SyncCampaignResult(
+        sync_samples=monitor.sync_percents(),
+        sync_departures_per_10min=monitor.departures_per_10min(),
+        total_departures=departures.total_departures,
+        config=config,
+    )
+
+
+def run_2019_vs_2020(
+    base: Optional[SyncCampaignConfig] = None,
+    churn_2019: float = 5.0,
+    churn_2020: float = 14.0,
+) -> Dict[str, SyncCampaignResult]:
+    """The full Fig. 1 contrast: same network, churn roughly doubled.
+
+    The rates keep the paper's ~1:2 synchronized-departure ratio; the
+    *measured* synchronized-departure rates land near the paper's 3.9 and
+    7.6 per 10 minutes.
+    """
+    base = base if base is not None else SyncCampaignConfig()
+    results: Dict[str, SyncCampaignResult] = {}
+    for label, churn in (("2019", churn_2019), ("2020", churn_2020)):
+        config = SyncCampaignConfig(
+            n_reachable=base.n_reachable,
+            churn_per_10min=churn,
+            block_interval=base.block_interval,
+            pre_mined_blocks=base.pre_mined_blocks,
+            sample_period=base.sample_period,
+            poll_spread=base.poll_spread,
+            warmup=base.warmup,
+            duration=base.duration,
+            seed=base.seed,
+        )
+        results[label] = run_sync_campaign(config)
+    return results

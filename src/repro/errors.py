@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency in the discrete-event simulation core."""
+
+
+class ClockError(SimulationError):
+    """An attempt to move simulated time backwards."""
+
+
+class TransportError(SimulationError):
+    """An invalid operation on the simulated network transport."""
+
+
+class ConnectionClosedError(TransportError):
+    """Sending on (or otherwise using) a connection that is already closed."""
+
+
+class AddressInUseError(TransportError):
+    """Registering a listener on an address that already has one."""
+
+
+class ProtocolError(ReproError):
+    """A violation of the simulated Bitcoin wire protocol."""
+
+
+class HandshakeError(ProtocolError):
+    """A version handshake failed or a message arrived before VERACK."""
+
+
+class ChainError(ReproError):
+    """An inconsistency in a simulated blockchain (unknown parent etc.)."""
+
+
+class ScenarioError(ReproError):
+    """Invalid scenario configuration (e.g. negative population sizes)."""
+
+
+class AnalysisError(ReproError):
+    """Invalid input to an analysis routine (e.g. empty sample set)."""

@@ -1,0 +1,77 @@
+"""Network population model.
+
+Everything that defines *who is on the simulated Bitcoin network*: the AS
+universe and hosting distributions (Table I), the four node classes and
+their calibrated counts, churn timelines and live churn, the Bitnodes/DNS
+address oracles, the NAT/firewall model, malicious ADDR flooders, and the
+two scenario builders.
+"""
+
+from . import calibration
+from .addr_server import AddrServer
+from .asmap import ASUniverse, HostingProfile, PROFILES, build_class_weights
+from .churn import (
+    ChurnProcess,
+    PresenceTimeline,
+    ReachableChurnConfig,
+    build_reachable_timeline,
+    build_unreachable_timeline,
+)
+from .malicious import (
+    FloodVolumeModel,
+    MaliciousAddrServer,
+    MaliciousBitcoinNode,
+    plant_flooders,
+)
+from .metrics import (
+    TopologyStats,
+    connection_graph,
+    degree_histogram,
+    pairwise_distances_sample,
+    topology_stats,
+)
+from .nat import NatModel
+from .population import NodeClass, NodeRecord, Population, PopulationConfig
+from .scenario import (
+    LongitudinalConfig,
+    LongitudinalScenario,
+    ProtocolConfig,
+    ProtocolScenario,
+)
+from .seeds import AddressOracles, AddressViews, DnsSeeder, SeedViewConfig
+
+__all__ = [
+    "PROFILES",
+    "AddrServer",
+    "AddressOracles",
+    "AddressViews",
+    "ASUniverse",
+    "ChurnProcess",
+    "DnsSeeder",
+    "FloodVolumeModel",
+    "HostingProfile",
+    "LongitudinalConfig",
+    "LongitudinalScenario",
+    "MaliciousAddrServer",
+    "MaliciousBitcoinNode",
+    "NatModel",
+    "NodeClass",
+    "NodeRecord",
+    "TopologyStats",
+    "Population",
+    "PopulationConfig",
+    "PresenceTimeline",
+    "ProtocolConfig",
+    "ProtocolScenario",
+    "ReachableChurnConfig",
+    "SeedViewConfig",
+    "build_class_weights",
+    "connection_graph",
+    "degree_histogram",
+    "build_reachable_timeline",
+    "build_unreachable_timeline",
+    "calibration",
+    "pairwise_distances_sample",
+    "plant_flooders",
+    "topology_stats",
+]

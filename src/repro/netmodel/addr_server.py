@@ -1,0 +1,118 @@
+"""Lightweight GETADDR responders for longitudinal crawls.
+
+A 60-day crawl campaign does not need full protocol nodes for the ~10K
+reachable population — only something that speaks the handshake and
+answers GETADDR the way a Bitcoin Core addrman would.  :class:`AddrServer`
+is that minimal listener: it holds a materialised address table (a sample
+of the currently gossiped address pool) and serves 23%-capped-at-1000
+samples of it, always prepending its own address (the paper's §IV-B
+malicious-detection heuristic rests on that behaviour).
+
+Message processing is immediate (no round-robin engine): crawl
+experiments measure *address content*, not queueing delay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..simnet.addresses import NetAddr, TimestampedAddr
+from ..simnet.simulator import Simulator
+from ..simnet.transport import Socket
+from ..bitcoin import config as cfg
+from ..bitcoin.messages import Addr, GetAddr, Message, Verack, Version
+
+
+class AddrServer:
+    """A reachable endpoint that serves addrman samples over GETADDR."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        addr: NetAddr,
+        rng: random.Random,
+        table: Optional[Sequence[NetAddr]] = None,
+        max_inbound: int = cfg.MAX_INBOUND,
+        response_max: int = cfg.ADDR_RESPONSE_MAX,
+        response_pct: int = cfg.ADDR_RESPONSE_MAX_PCT,
+    ) -> None:
+        self.sim = sim
+        self.addr = addr
+        self._rng = rng
+        self.table: List[NetAddr] = list(table) if table is not None else []
+        self.max_inbound = max_inbound
+        self.response_max = response_max
+        self.response_pct = response_pct
+        self.listening = False
+        self._inbound = 0
+        self.getaddr_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.listening:
+            return
+        self.sim.network.listen(self.addr, self)
+        self.listening = True
+
+    def stop(self) -> None:
+        if not self.listening:
+            return
+        self.sim.network.disconnect_host(self.addr)
+        self.listening = False
+        self._inbound = 0
+
+    def set_table(self, table: Sequence[NetAddr]) -> None:
+        """Re-materialise the served address table (per-snapshot refresh)."""
+        self.table = list(table)
+
+    # ------------------------------------------------------------------
+    # Transport callbacks
+    # ------------------------------------------------------------------
+    def on_inbound_connection(self, socket: Socket) -> bool:
+        if not self.listening or self._inbound >= self.max_inbound:
+            return False
+        self._inbound += 1
+        socket.handler = self
+        return True
+
+    def on_disconnect(self, socket: Socket) -> None:
+        self._inbound = max(0, self._inbound - 1)
+
+    def on_message(self, socket: Socket, message: Message) -> None:
+        if not socket.open:
+            return
+        if message.command == "version":
+            socket.send(
+                Version(
+                    sender=self.addr,
+                    receiver=socket.remote_addr,
+                    start_height=0,
+                )
+            )
+            socket.send(Verack())
+        elif message.command == "getaddr":
+            self.getaddr_served += 1
+            socket.send(Addr(addresses=tuple(self._sample_response())))
+
+    # ------------------------------------------------------------------
+    # ADDR response construction
+    # ------------------------------------------------------------------
+    def _sample_response(self) -> List[TimestampedAddr]:
+        limit = 0
+        if self.table:
+            limit = min(
+                self.response_max,
+                max(1, len(self.table) * self.response_pct // 100),
+            )
+        sampled = (
+            self._rng.sample(self.table, min(limit, len(self.table)))
+            if limit
+            else []
+        )
+        now = self.sim.now
+        response = [TimestampedAddr(self.addr, now)]
+        response.extend(TimestampedAddr(a, now) for a in sampled)
+        return response[: self.response_max]

@@ -1,0 +1,208 @@
+"""Malicious ADDR-flooding peers (§IV-B).
+
+The paper detected 73 reachable nodes whose every ADDR response contained
+*only unreachable* addresses — no self-advertisement, no reachable peers —
+with per-node flood volumes up to >400K addresses, 8 nodes above 100K, and
+59% of the flooders clustered in AS3320.
+
+Two implementations mirror the two scenario fidelities:
+
+* :class:`MaliciousAddrServer` — a longitudinal-mode GETADDR responder
+  backed by a finite pool of fabricated unreachable addresses;
+* :class:`MaliciousBitcoinNode` — a protocol-mode node that additionally
+  pushes unsolicited ADDR floods to its peers, polluting their addrman
+  tables and driving the outbound-connection failure rate up.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..simnet.addresses import NetAddr, TimestampedAddr
+from ..simnet.simulator import Simulator
+from ..bitcoin.config import NodeConfig
+from ..bitcoin.messages import Addr
+from ..bitcoin.node import BitcoinNode
+from . import calibration as cal
+from .addr_server import AddrServer
+from .population import Population
+
+
+@dataclass
+class FloodVolumeModel:
+    """Log-normal *unique* fabricated-pool sizes per flooder.
+
+    The Fig. 8 volumes (up to >400K "sent") count ADDR records across
+    repeated requests and snapshots; the unique pools behind them are far
+    smaller — they must be, since the campaign's whole unique unreachable
+    set is 694K.  These defaults put the 73 pools' total at roughly a
+    quarter of the cumulative unreachable population, with a heavy tail.
+    """
+
+    median: float = 1_500.0
+    sigma: float = 1.0
+    floor: int = 200
+
+    def sample(self, rng: random.Random, scale: float = 1.0) -> int:
+        draw = rng.lognormvariate(math.log(self.median), self.sigma)
+        # The absolute floor of 30 keeps tiny-scale flooders detectable
+        # (a pool must at least exceed one ADDR response's worth of
+        # scaled detection threshold).
+        return max(30, int(self.floor * scale), int(draw * scale))
+
+
+class MaliciousAddrServer(AddrServer):
+    """A flooder for crawl campaigns: serves only fabricated addresses.
+
+    Violates both halves of the detection heuristic: it never includes its
+    own (reachable) address, and its table holds no reachable address at
+    all.  The pool is finite — once a crawler has harvested it, responses
+    repeat, which is what terminates Algorithm 1.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        addr: NetAddr,
+        rng: random.Random,
+        population: Population,
+        flood_volume: int,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, addr, rng, table=None, **kwargs)
+        self.population = population
+        self.flood_volume = flood_volume
+
+    def set_table(self, table) -> None:  # noqa: D102 - keep the flood pool
+        # Snapshot refreshes must not replace a flooder's pool.
+        return
+
+    def _sample_response(self) -> List[TimestampedAddr]:
+        # The paper's flooders kept producing *fresh* unreachable
+        # addresses (one sent >400K); mint lazily up to the flood volume,
+        # serving the freshly minted batch first, then random repeats.
+        shortfall = max(
+            0, min(self.response_max, self.flood_volume - len(self.table))
+        )
+        fresh = [
+            self.population.mint_fake_address().addr for _ in range(shortfall)
+        ]
+        self.table.extend(fresh)
+        filler_count = min(self.response_max - len(fresh), len(self.table) - len(fresh))
+        filler = (
+            self._rng.sample(self.table[: len(self.table) - len(fresh)], filler_count)
+            if filler_count > 0
+            else []
+        )
+        now = self.sim.now
+        # No self-advertisement — the tell the detector keys on.
+        return [TimestampedAddr(a, now) for a in fresh + filler]
+
+
+class MaliciousBitcoinNode(BitcoinNode):
+    """A protocol-mode flooder: full node, poisoned address plane.
+
+    GETADDR responses come from the fabricated pool, and every
+    ``flood_interval`` seconds the node pushes small unsolicited ADDR
+    announcements (which honest peers forward, spreading the pollution).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        addr: NetAddr,
+        population: Population,
+        flood_volume: int,
+        config: Optional[NodeConfig] = None,
+        flood_interval: float = 30.0,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, addr, config=config, name=name)
+        self.population = population
+        self.flood_volume = flood_volume
+        self.flood_interval = flood_interval
+        self._flood_pool: List[NetAddr] = []
+        self._flood_cursor = 0
+        self._flood_task = None
+        self.addrs_flooded = 0
+
+    def _pool_addr(self) -> NetAddr:
+        """Next fabricated address, minting lazily up to the volume."""
+        if self._flood_cursor < len(self._flood_pool):
+            addr = self._flood_pool[self._flood_cursor]
+        elif len(self._flood_pool) < self.flood_volume:
+            addr = self.population.mint_fake_address().addr
+            self._flood_pool.append(addr)
+        else:
+            addr = self._rng.choice(self._flood_pool)
+        self._flood_cursor = (self._flood_cursor + 1) % max(
+            1, min(self.flood_volume, len(self._flood_pool) + 1)
+        )
+        return addr
+
+    def _build_addr_response(self, records) -> List[TimestampedAddr]:
+        now = self.sim.now
+        count = min(1000, self.flood_volume)
+        return [TimestampedAddr(self._pool_addr(), now) for _ in range(count)]
+
+    def start(self) -> None:
+        super().start()
+        if self._flood_task is None and self.flood_interval > 0:
+            self._flood_task = self.sim.call_every(
+                self.flood_interval, self._push_flood
+            )
+
+    def stop(self) -> None:
+        if self._flood_task is not None:
+            self._flood_task.stop()
+            self._flood_task = None
+        super().stop()
+
+    def _push_flood(self) -> None:
+        """Unsolicited ≤10-address announcements to every peer."""
+        if not self.running:
+            return
+        now = self.sim.now
+        for peer in self.established_peers:
+            records = tuple(
+                TimestampedAddr(self._pool_addr(), now) for _ in range(10)
+            )
+            peer.enqueue_send(Addr(addresses=records))
+            self.addrs_flooded += len(records)
+        self._wake_handler()
+
+
+def plant_flooders(
+    sim: Simulator,
+    rng: random.Random,
+    population: Population,
+    scale: float,
+    volume_model: Optional[FloodVolumeModel] = None,
+    count: Optional[int] = None,
+) -> List[MaliciousAddrServer]:
+    """Create the scaled Fig. 8 flooder cohort as crawl-mode servers.
+
+    59% are placed in AS3320 (the paper's observed clustering); the rest
+    follow the reachable hosting distribution.
+    """
+    volume_model = volume_model or FloodVolumeModel()
+    n_flooders = count if count is not None else max(
+        1, round(cal.MALICIOUS_NODE_COUNT * scale)
+    )
+    flooders: List[MaliciousAddrServer] = []
+    for index in range(n_flooders):
+        if rng.random() < cal.MALICIOUS_AS3320_SHARE:
+            asn = cal.MALICIOUS_AS3320
+        else:
+            asn = population.universe.sample_asn("reachable", rng)
+        addr = population.universe.allocate_address(asn)
+        volume = volume_model.sample(rng, scale=scale)
+        flooders.append(
+            MaliciousAddrServer(
+                sim, addr, rng, population=population, flood_volume=volume
+            )
+        )
+    return flooders

@@ -1,0 +1,61 @@
+"""NAT / firewall behaviour of unreachable addresses.
+
+The paper's prober (§III-C) distinguishes unreachable nodes by how they
+answer an unsolicited, hand-crafted VER packet:
+
+* **responsive** — the host runs Bitcoin behind NAT; the TCP stack accepts
+  and Bitcoin immediately closes, so the probe sees a FIN.  The paper
+  validated this with three in-house unreachable nodes.
+* **silent** — the host is gone, or a firewall drops unsolicited traffic;
+  the probe times out.  (The paper notes this makes the responsive count a
+  lower bound.)
+* A third behaviour matters for connection *attempts* even though the
+  paper does not probe for it: stale addresses whose host is up but no
+  longer listens answer with an **RST**, failing attempts quickly rather
+  than at the TCP timeout.  The mix of RST vs. silent failures sets the
+  pace of the outbound-connection loop (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from ..simnet.addresses import NetAddr
+from ..simnet.transport import Network, ProbeBehavior
+
+
+class NatModel:
+    """Installs per-address probe behaviour on the simulated network."""
+
+    def __init__(self, network: Network, rng: random.Random, rst_fraction: float = 0.45):
+        if not 0 <= rst_fraction <= 1:
+            raise ValueError(f"rst_fraction must be in [0, 1], got {rst_fraction}")
+        self.network = network
+        self._rng = rng
+        #: Share of *silent-class* addresses that actually answer RST
+        #: (host up, port closed) rather than dropping silently.
+        self.rst_fraction = rst_fraction
+
+    def mark_responsive(self, addrs: Iterable[NetAddr]) -> int:
+        """Register addresses as responsive unreachable nodes (FIN)."""
+        count = 0
+        for addr in addrs:
+            self.network.set_probe_behavior(addr, ProbeBehavior.FIN)
+            count += 1
+        return count
+
+    def mark_silent(self, addrs: Iterable[NetAddr]) -> int:
+        """Register non-responsive addresses (RST or silent drop)."""
+        count = 0
+        for addr in addrs:
+            if self._rng.random() < self.rst_fraction:
+                self.network.set_probe_behavior(addr, ProbeBehavior.RST)
+            else:
+                self.network.set_probe_behavior(addr, ProbeBehavior.SILENT)
+            count += 1
+        return count
+
+    def mark_offline(self, addr: NetAddr) -> None:
+        """An address whose host departed entirely: silent from now on."""
+        self.network.set_probe_behavior(addr, ProbeBehavior.SILENT)

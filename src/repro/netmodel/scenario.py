@@ -1,0 +1,535 @@
+"""Scenario builders: wiring population, churn, NAT, and nodes together.
+
+Two fidelities match the two kinds of experiment in the paper:
+
+* :class:`LongitudinalScenario` — the 60-day measurement campaign
+  (Figs. 3-5, 8, 12, 13, Table I).  Node presence follows precomputed
+  churn timelines; reachable nodes are lightweight GETADDR responders
+  whose tables are re-materialised per snapshot from the currently
+  gossiped address pool.  Protocol traffic is simulated only while the
+  crawler works.
+
+* :class:`ProtocolScenario` — full-fidelity networks of
+  :class:`~repro.bitcoin.node.BitcoinNode` with mining, live churn, and
+  polluted addrman tables (Figs. 1, 6, 7, 10, 11, the resync experiment,
+  and the §V improvement ablations).
+
+Time-scale note: protocol scenarios compress the churn/recovery balance.
+In reality a replacement node needs days to download the chain while
+churn runs at ~700 nodes/day; a simulated chain is short, so catch-up
+takes minutes and the churn rate is raised proportionally.  All paper
+comparisons for these scenarios are of *ratios and shapes* (2020/2019
+churn doubling → sync mean dropping ~10 points), which the compression
+preserves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ScenarioError
+from ..simnet.addresses import NetAddr
+from ..simnet.simulator import Simulator
+from ..units import DAYS, HOURS
+from ..bitcoin.config import NodeConfig, PolicyConfig
+from ..bitcoin.mining import MiningProcess, TransactionGenerator
+from ..bitcoin.node import BitcoinNode
+from . import calibration as cal
+from .addr_server import AddrServer
+from .asmap import ASUniverse
+from .churn import (
+    ChurnProcess,
+    PresenceTimeline,
+    ReachableChurnConfig,
+    build_reachable_timeline,
+    build_unreachable_timeline,
+)
+from .malicious import FloodVolumeModel, MaliciousAddrServer, plant_flooders
+from .nat import NatModel
+from .population import NodeClass, NodeRecord, Population, PopulationConfig
+from .seeds import AddressOracles, DnsSeeder, SeedViewConfig
+
+
+# ---------------------------------------------------------------------------
+# Longitudinal (measurement-campaign) scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LongitudinalConfig:
+    """Sizing of a crawl campaign."""
+
+    scale: float = 0.05
+    seed: int = 1
+    campaign_days: float = float(cal.CAMPAIGN_DAYS)
+    #: Crawl snapshots over the campaign (the paper crawled ~daily).
+    snapshots: int = 60
+    #: Reachable addresses each node's table holds (pre-composition).
+    table_reachable_sample: int = 150
+    #: Ground-truth reachable share of node tables.  Set above the
+    #: paper's measured 14.9% because the *measured* share classifies by
+    #: the crawler's source views, which cover ~82% of truly reachable
+    #: nodes: 0.18 * 0.82 ≈ 0.149.
+    addr_reachable_share: float = 0.18
+    #: Cumulative reachable records are over-provisioned relative to the
+    #: paper's 28,781 because that figure counts *connected* nodes and
+    #: the source views cover ~82% of what is alive.
+    reachable_overprovision: float = 1.2
+    churn: ReachableChurnConfig = field(default_factory=ReachableChurnConfig)
+    seed_views: SeedViewConfig = field(default_factory=SeedViewConfig)
+    #: Plant the Fig. 8 malicious flooders.
+    flooders: bool = True
+    flooder_count: Optional[int] = None
+    flood_volume_model: FloodVolumeModel = field(default_factory=FloodVolumeModel)
+    #: Fraction of silent-class addresses answering RST (vs. dropping).
+    rst_fraction: float = 0.45
+
+    def validate(self) -> None:
+        if self.scale <= 0:
+            raise ScenarioError("scale must be positive")
+        if self.snapshots < 1:
+            raise ScenarioError("need at least one snapshot")
+        if not 0 < self.addr_reachable_share < 1:
+            raise ScenarioError("addr_reachable_share must be in (0, 1)")
+
+
+class LongitudinalScenario:
+    """The 60-day campaign world, driven snapshot by snapshot."""
+
+    def __init__(self, config: Optional[LongitudinalConfig] = None) -> None:
+        self.config = config if config is not None else LongitudinalConfig()
+        self.config.validate()
+        self.sim = Simulator(seed=self.config.seed)
+        rng = self.sim.random.stream("scenario")
+        self._rng = rng
+        self.universe = ASUniverse(rng)
+        self.population = Population(
+            rng,
+            self.universe,
+            PopulationConfig(
+                scale=self.config.scale,
+                campaign_days=self.config.campaign_days,
+                cumulative_reachable=round(
+                    cal.CUMULATIVE_REACHABLE
+                    * self.config.reachable_overprovision
+                ),
+            ),
+        )
+        # Flooders are planted before the unreachable timelines so their
+        # fabricated-pool volumes can be debited from the silent class —
+        # the paper's cumulative 694K unreachable includes the flooders'
+        # fabrications, so ours must not double-count them.
+        self.flooders: List[MaliciousAddrServer] = []
+        if self.config.flooders:
+            self.flooders = plant_flooders(
+                self.sim,
+                self.sim.random.stream("flooders"),
+                self.population,
+                scale=self.config.scale,
+                volume_model=self.config.flood_volume_model,
+                count=self.config.flooder_count,
+            )
+            total_fakes = sum(f.flood_volume for f in self.flooders)
+            self.population.trim_silent(total_fakes)
+        self.reachable_timeline = build_reachable_timeline(
+            self.sim.random.stream("churn-reachable"),
+            self.population.reachable,
+            self.config.churn,
+            scale=self.config.scale,
+        )
+        responsive_fraction = (
+            cal.RESPONSIVE_PER_SNAPSHOT / cal.CUMULATIVE_RESPONSIVE
+        )
+        silent_fraction = (
+            (cal.UNREACHABLE_PER_SNAPSHOT - cal.RESPONSIVE_PER_SNAPSHOT)
+            / (cal.CUMULATIVE_UNREACHABLE - cal.CUMULATIVE_RESPONSIVE)
+        )
+        self.responsive_timeline = build_unreachable_timeline(
+            self.sim.random.stream("churn-responsive"),
+            self.population.responsive,
+            self.config.campaign_days,
+            responsive_fraction,
+        )
+        self.silent_timeline = build_unreachable_timeline(
+            self.sim.random.stream("churn-silent"),
+            self.population.silent,
+            self.config.campaign_days,
+            silent_fraction,
+        )
+        self.oracles = AddressOracles(
+            self.sim.random.stream("oracles"),
+            self.population.reachable,
+            self.reachable_timeline,
+            self.config.seed_views,
+        )
+        self.nat = NatModel(
+            self.sim.network,
+            self.sim.random.stream("nat"),
+            rst_fraction=self.config.rst_fraction,
+        )
+        #: One AddrServer per reachable record, started/stopped with churn.
+        self.servers: Dict[NetAddr, AddrServer] = {}
+        for record in self.population.reachable:
+            self.servers[record.addr] = AddrServer(
+                self.sim,
+                record.addr,
+                self.sim.random.stream("server", str(record.addr)),
+            )
+        self._snapshot_index = -1
+
+    # ------------------------------------------------------------------
+    # Snapshot scheduling
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_times(self) -> List[float]:
+        """Campaign times of the crawl snapshots (evenly spaced)."""
+        horizon = self.config.campaign_days * DAYS
+        step = horizon / self.config.snapshots
+        return [step * (index + 0.5) for index in range(self.config.snapshots)]
+
+    def alive_reachable(self, when: float) -> List[NodeRecord]:
+        return [
+            record
+            for record in self.population.reachable
+            if self.reachable_timeline.alive_at(record.addr, when)
+        ]
+
+    def gossip_pool(self, when: float) -> List[NetAddr]:
+        """Unreachable addresses currently circulating in gossip."""
+        pool = [
+            record.addr
+            for record in self.population.responsive
+            if self.responsive_timeline.alive_at(record.addr, when)
+        ]
+        pool.extend(
+            record.addr
+            for record in self.population.silent
+            if self.silent_timeline.alive_at(record.addr, when)
+        )
+        return pool
+
+    def materialize_snapshot(self, when: float) -> None:
+        """Fast-forward the world to ``when`` and rebuild node state.
+
+        Starts/stops AddrServers per the churn timeline, refreshes their
+        tables from the current gossip pool at the configured composition,
+        and installs NAT probe behaviour for the unreachable pool.
+        """
+        if when < self.sim.now:
+            raise ScenarioError("snapshots must advance in time")
+        self.sim.run_until(when)
+        alive = self.alive_reachable(when)
+        alive_addrs = [record.addr for record in alive]
+        alive_set = set(alive_addrs)
+        pool = self.gossip_pool(when)
+
+        # Table sizing: reachable sample + enough unreachable for the mix.
+        n_reach = min(self.config.table_reachable_sample, len(alive_addrs))
+        share = self.config.addr_reachable_share
+        n_unreach = min(len(pool), round(n_reach * (1 - share) / share))
+
+        rng = self._rng
+        for addr, server in self.servers.items():
+            if addr in alive_set:
+                table = rng.sample(alive_addrs, n_reach) + rng.sample(
+                    pool, n_unreach
+                )
+                server.set_table(table)
+                server.start()
+            else:
+                server.stop()
+        for flooder in self.flooders:
+            flooder.start()
+
+        # NAT behaviour of the unreachable world at this instant.
+        for record in self.population.responsive:
+            if self.responsive_timeline.alive_at(record.addr, when):
+                self.nat.mark_responsive([record.addr])
+            else:
+                self.nat.mark_offline(record.addr)
+        for record in self.population.silent:
+            if self.silent_timeline.alive_at(record.addr, when):
+                self.nat.mark_silent([record.addr])
+            else:
+                self.nat.mark_offline(record.addr)
+        self._snapshot_index += 1
+
+
+# ---------------------------------------------------------------------------
+# Protocol-fidelity scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProtocolConfig:
+    """Sizing of a live protocol network."""
+
+    seed: int = 7
+    #: Reachable full nodes online at start.
+    n_reachable: int = 150
+    #: Responsive unreachable addresses (FIN to probes, pollute tables).
+    n_responsive: Optional[int] = None
+    #: Silent/stale unreachable addresses.
+    n_silent: Optional[int] = None
+    #: Target ADDR/table composition (reachable share).
+    addr_reachable_share: float = cal.ADDR_REACHABLE_SHARE
+    #: Reachable addresses each node's initial table holds.
+    table_reachable_sample: int = 60
+    rst_fraction: float = 0.45
+    node_config: NodeConfig = field(default_factory=NodeConfig)
+    #: Mining switched on (Fig. 1 / relay experiments need blocks).
+    mining: bool = True
+    block_interval: float = 600.0
+    txs_per_block: int = 10
+    #: Historical chain length standing nodes are born with.  Replacement
+    #: nodes must download all of it before they count as synchronized —
+    #: the compressed analogue of Bitcoin's days-long IBD.
+    pre_mined_blocks: int = 0
+    #: Transaction generator rate (tx/s); 0 disables.
+    tx_rate: float = 0.0
+    #: Live churn: departures per 10 minutes (None disables).
+    churn_per_10min: Optional[float] = None
+    #: Plant protocol-mode malicious flooders.
+    flooder_count: int = 0
+
+    def validate(self) -> None:
+        if self.n_reachable < 2:
+            raise ScenarioError("need at least two reachable nodes")
+        if not 0 < self.addr_reachable_share < 1:
+            raise ScenarioError("addr_reachable_share must be in (0, 1)")
+
+    @property
+    def responsive_count(self) -> int:
+        if self.n_responsive is not None:
+            return self.n_responsive
+        # Preserve the measured per-snapshot ratio: ~54K responsive to
+        # ~10K reachable.
+        return round(
+            self.n_reachable
+            * cal.RESPONSIVE_PER_SNAPSHOT
+            / cal.BITNODES_ADDRS_PER_SNAPSHOT
+        )
+
+    @property
+    def silent_count(self) -> int:
+        if self.n_silent is not None:
+            return self.n_silent
+        return round(
+            self.n_reachable
+            * (cal.UNREACHABLE_PER_SNAPSHOT - cal.RESPONSIVE_PER_SNAPSHOT)
+            / cal.BITNODES_ADDRS_PER_SNAPSHOT
+        )
+
+
+class ProtocolScenario:
+    """A live Bitcoin network with polluted address tables."""
+
+    def __init__(self, config: Optional[ProtocolConfig] = None) -> None:
+        self.config = config if config is not None else ProtocolConfig()
+        self.config.validate()
+        self.sim = Simulator(seed=self.config.seed)
+        rng = self.sim.random.stream("scenario")
+        self._rng = rng
+        self.universe = ASUniverse(rng)
+        scale = self.config.n_reachable / cal.BITNODES_ADDRS_PER_SNAPSHOT
+        self.population = Population(
+            rng,
+            self.universe,
+            PopulationConfig(
+                scale=scale,
+                # 3x the standing network: the extra records are the
+                # replacement pool live churn draws from before recycling.
+                cumulative_reachable=round(
+                    3 * self.config.n_reachable / scale
+                ),
+                cumulative_responsive=round(
+                    self.config.responsive_count / scale
+                ),
+                cumulative_unreachable=round(
+                    (self.config.responsive_count + self.config.silent_count)
+                    / scale
+                ),
+            ),
+        )
+        self.nat = NatModel(
+            self.sim.network,
+            self.sim.random.stream("nat"),
+            rst_fraction=self.config.rst_fraction,
+        )
+        self.nat.mark_responsive(
+            record.addr for record in self.population.responsive
+        )
+        self.nat.mark_silent(
+            record.addr for record in self.population.silent
+        )
+        self.seeder = DnsSeeder(self.sim.random.stream("dns"))
+        self.nodes: List[BitcoinNode] = []
+        self._next_replacement = 0
+        # Materialise the standing network.
+        standing = self.population.reachable[: self.config.n_reachable]
+        self._replacement_pool = self.population.reachable[
+            self.config.n_reachable:
+        ]
+        for record in standing:
+            node = self._make_node(record)
+            self.nodes.append(node)
+            self.seeder.register(record.addr)
+        self.mining: Optional[MiningProcess] = None
+        if self.config.mining:
+            self.mining = MiningProcess(
+                self.sim,
+                self.running_nodes,
+                block_interval=self.config.block_interval,
+                txs_per_block=self.config.txs_per_block,
+            )
+            if self.config.pre_mined_blocks > 0:
+                history = self.mining.premine(self.config.pre_mined_blocks)
+                for node in self.nodes:
+                    for block in history:
+                        node.chain.add_block(block)
+                    node.tip_history[-1] = (0.0, node.chain.height)
+        self.txgen: Optional[TransactionGenerator] = None
+        if self.config.tx_rate > 0:
+            self.txgen = TransactionGenerator(
+                self.sim, self.running_nodes, tx_rate=self.config.tx_rate
+            )
+        self.churn: Optional[ChurnProcess] = None
+        if self.config.churn_per_10min:
+            self.churn = ChurnProcess(
+                self.sim,
+                self.running_nodes,
+                self.add_replacement_node,
+                departures_per_10min=self.config.churn_per_10min,
+            )
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _clone_node_config(self) -> NodeConfig:
+        base = self.config.node_config
+        # Dataclass shallow copy with fresh mutable fields.
+        from dataclasses import replace
+
+        return replace(
+            base,
+            proc_times=dict(base.proc_times),
+            policies=replace(base.policies),
+        )
+
+    def _make_node(self, record: NodeRecord) -> BitcoinNode:
+        node = BitcoinNode(self.sim, record.addr, self._clone_node_config())
+        self._seed_tables(node)
+        return node
+
+    def _seed_tables(self, node: BitcoinNode) -> None:
+        """Pollute the node's addrman with the measured 15/85 mixture."""
+        reachable_addrs = [
+            record.addr
+            for record in self.population.reachable[: self.config.n_reachable]
+            if record.addr != node.addr
+        ]
+        n_reach = min(self.config.table_reachable_sample, len(reachable_addrs))
+        share = self.config.addr_reachable_share
+        unreachable_pool = [
+            record.addr for record in self.population.unreachable_records
+        ]
+        n_unreach = min(
+            len(unreachable_pool), round(n_reach * (1 - share) / share)
+        )
+        node.bootstrap(
+            self._rng.sample(reachable_addrs, n_reach)
+            + self._rng.sample(unreachable_pool, n_unreach)
+        )
+
+    def pollute_addrman(self, node: BitcoinNode) -> None:
+        """Seed an external node's tables with the measured 15/85 mixture.
+
+        Used by the §IV-B experiments to drop an observer node into the
+        world with the address-plane state a real 2020 node would have.
+        """
+        self._seed_tables(node)
+
+    def make_observer_node(
+        self, config: Optional[NodeConfig] = None
+    ) -> BitcoinNode:
+        """Create (but do not start) a fresh measurement node.
+
+        The node gets a fresh address in the reachable hosting profile and
+        polluted tables; it is appended to the scenario's node list so
+        churn/mining treat it like any other node once started.
+        """
+        asn = self.universe.sample_asn("reachable", self._rng)
+        addr = self.universe.allocate_address(asn)
+        node = BitcoinNode(
+            self.sim, addr, config if config is not None else self._clone_node_config()
+        )
+        self._seed_tables(node)
+        self.nodes.append(node)
+        return node
+
+    def running_nodes(self) -> List[BitcoinNode]:
+        return [node for node in self.nodes if node.running]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, warmup: float = 0.0) -> None:
+        """Start every process; optionally run a warm-up period."""
+        for node in self.nodes:
+            node.start()
+        if self.mining is not None:
+            self.mining.start()
+        if self.txgen is not None:
+            self.txgen.start()
+        if self.churn is not None:
+            self.churn.start()
+        if warmup > 0:
+            self.sim.run_for(warmup)
+
+    def add_replacement_node(self) -> Optional[BitcoinNode]:
+        """A new reachable node joins: fresh chain, polluted tables.
+
+        Replacement tables carry the same 15/85 mixture as the standing
+        network — a joiner's addrman fills from its first GETADDR
+        exchanges, which are dominated by unreachable gossip (§IV-B), so
+        its slot-filling is as slow as everyone else's.  When the unique-
+        address pool is exhausted, departed addresses are recycled (nodes
+        rejoining, as in Fig. 12).
+        """
+        if self._next_replacement < len(self._replacement_pool):
+            record = self._replacement_pool[self._next_replacement]
+            self._next_replacement += 1
+            addr = record.addr
+        else:
+            stopped = [node for node in self.nodes if not node.running]
+            if not stopped:
+                return None
+            old = self._rng.choice(stopped)
+            self.nodes.remove(old)
+            addr = old.addr
+        node = BitcoinNode(self.sim, addr, self._clone_node_config())
+        self._seed_tables(node)
+        node.start()
+        self.nodes.append(node)
+        self.seeder.register(addr)
+        return node
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    @property
+    def best_height(self) -> int:
+        if self.mining is not None:
+            return self.mining.best_height
+        return max((node.chain.height for node in self.nodes), default=0)
+
+    def sync_fraction(self) -> float:
+        """Share of running reachable nodes holding the best chain."""
+        running = self.running_nodes()
+        if not running:
+            return 0.0
+        best = self.best_height
+        synced = sum(1 for node in running if node.chain.height >= best)
+        return synced / len(running)

@@ -1,0 +1,194 @@
+"""Address oracles: the simulated Bitnodes monitor and DNS seeder database.
+
+The paper's address crawler (§III-A, Fig. 2) merges two sources:
+
+* **Bitnodes** — a public crawler whose per-snapshot view averaged 10,114
+  addresses (of which the measurement node could connect to ~7,900);
+* **Luke Dashjr's DNS seeder database** — 6,637 addresses per snapshot,
+  6,078 shared with Bitnodes, and crucially ~404 *reachable nodes Bitnodes
+  missed* (Fig. 3d), which is why the paper uses both.
+
+Both views are imperfect: they contain recently-departed (stale) addresses
+and miss some alive nodes.  :class:`SeedViewConfig` captures the coverage
+model; defaults are calibrated so the Fig. 3 counts come out at scale 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..simnet.addresses import NetAddr
+from ..units import DAYS
+from .churn import PresenceTimeline
+from .population import NodeRecord
+
+
+@dataclass
+class SeedViewConfig:
+    """Coverage model of the two address sources (Fig. 3 calibration)."""
+
+    #: Probability an alive reachable node appears in the Bitnodes view.
+    bitnodes_alive_coverage: float = 0.78
+    #: Probability a recently-departed node lingers in the Bitnodes view.
+    bitnodes_stale_coverage: float = 0.50
+    #: How long a departed address can linger in a view (seconds).
+    stale_window: float = 7 * DAYS
+    #: Probability a Bitnodes-listed address is also in the DNS database.
+    dns_given_bitnodes: float = 0.58
+    #: Probability an alive node *missed* by Bitnodes is in the DNS
+    #: database (the Fig. 3d "skipped by Bitnodes" population).
+    dns_alive_extra: float = 0.20
+    #: Probability a departed address missed by Bitnodes is in DNS.
+    dns_stale_extra: float = 0.10
+
+    def validate(self) -> None:
+        for name in (
+            "bitnodes_alive_coverage",
+            "bitnodes_stale_coverage",
+            "dns_given_bitnodes",
+            "dns_alive_extra",
+            "dns_stale_extra",
+        ):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class AddressViews:
+    """One snapshot's worth of source views (inputs to the crawler)."""
+
+    when: float
+    bitnodes: Set[NetAddr]
+    dns: Set[NetAddr]
+    #: Ground truth: which reachable addresses are actually online now.
+    alive: Set[NetAddr]
+
+    @property
+    def common(self) -> Set[NetAddr]:
+        return self.bitnodes & self.dns
+
+    @property
+    def union(self) -> Set[NetAddr]:
+        return self.bitnodes | self.dns
+
+
+class AddressOracles:
+    """Generates Bitnodes/DNS views of the reachable population over time."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        records: Sequence[NodeRecord],
+        timeline: PresenceTimeline,
+        config: Optional[SeedViewConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else SeedViewConfig()
+        self.config.validate()
+        self._rng = rng
+        self._records = list(records)
+        self._timeline = timeline
+        #: Per-node sticky (bitnodes, dns) membership draws.
+        self._propensity: dict = {}
+
+    def _node_propensity(self, addr: NetAddr) -> tuple:
+        """Sticky per-node source membership.
+
+        Whether a node is tracked by Bitnodes (and listed by the DNS
+        seeder) is a property of the *node* — stable nodes are reliably
+        listed snapshot after snapshot — not an independent per-snapshot
+        coin flip.  Without stickiness the always-on statistic (paper:
+        3,034 nodes present in every one of ~60 experiments) is
+        unreproducible: independent 95% coverage would keep only
+        ``0.95**60 ≈ 5%`` of genuinely always-on nodes.
+        """
+        draws = self._propensity.get(addr)
+        if draws is None:
+            draws = (self._rng.random(), self._rng.random())
+            self._propensity[addr] = draws
+        return draws
+
+    def _alive_and_stale(self, when: float) -> tuple:
+        alive: List[NetAddr] = []
+        stale: List[NetAddr] = []
+        window = self.config.stale_window
+        for record in self._records:
+            addr = record.addr
+            if self._timeline.alive_at(addr, when):
+                alive.append(addr)
+                continue
+            # Departed within the stale window?
+            for start, end in self._timeline.intervals(addr):
+                if end <= when and when - end <= window:
+                    stale.append(addr)
+                    break
+        return alive, stale
+
+    def snapshot(self, when: float) -> AddressViews:
+        """The Bitnodes and DNS views at campaign time ``when``.
+
+        Source membership is sticky per node (see
+        :meth:`_node_propensity`); only the *lingering* of departed
+        addresses is re-drawn per snapshot, since stale entries age out of
+        the real sources over time.
+        """
+        rng = self._rng
+        alive, stale = self._alive_and_stale(when)
+        bitnodes: Set[NetAddr] = set()
+        dns: Set[NetAddr] = set()
+        for addr in alive:
+            u_bitnodes, u_dns = self._node_propensity(addr)
+            if u_bitnodes < self.config.bitnodes_alive_coverage:
+                bitnodes.add(addr)
+                if u_dns < self.config.dns_given_bitnodes:
+                    dns.add(addr)
+            elif u_dns < self.config.dns_alive_extra:
+                dns.add(addr)
+        for addr in stale:
+            u_bitnodes, u_dns = self._node_propensity(addr)
+            lingers = rng.random() < self.config.bitnodes_stale_coverage
+            if u_bitnodes < self.config.bitnodes_alive_coverage and lingers:
+                bitnodes.add(addr)
+                if u_dns < self.config.dns_given_bitnodes:
+                    dns.add(addr)
+            elif u_dns < self.config.dns_stale_extra and lingers:
+                dns.add(addr)
+        return AddressViews(
+            when=when, bitnodes=bitnodes, dns=dns, alive=set(alive)
+        )
+
+
+class DnsSeeder:
+    """The bootstrap oracle a joining node queries (chainparams seeds).
+
+    In protocol-fidelity scenarios this wraps the live node registry; a
+    joining node receives a random sample of currently reachable
+    addresses, as the nine hard-coded seeders provide in reality.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._known: List[NetAddr] = []
+        self._known_set: Set[NetAddr] = set()
+
+    def register(self, addr: NetAddr) -> None:
+        """A reachable node became known to the seeder."""
+        if addr not in self._known_set:
+            self._known_set.add(addr)
+            self._known.append(addr)
+
+    def unregister(self, addr: NetAddr) -> None:
+        """Seeder noticed the node is gone (lazily pruned)."""
+        if addr in self._known_set:
+            self._known_set.discard(addr)
+            self._known.remove(addr)
+
+    def query(self, count: int = 256) -> List[NetAddr]:
+        """A DNS response: up to ``count`` known reachable addresses."""
+        count = min(count, len(self._known))
+        return self._rng.sample(self._known, count)
+
+    def __len__(self) -> int:
+        return len(self._known)

@@ -1,0 +1,81 @@
+"""Network addresses for the simulated internet.
+
+Addresses are IPv4-like ``(ip, port)`` pairs.  The ``ip`` is stored as a
+32-bit integer, which keeps :class:`NetAddr` hashable and cheap — whole
+simulations hold hundreds of thousands of them (the paper observed ~694K
+unique unreachable addresses).
+
+``group16`` reproduces Bitcoin Core's notion of a *netgroup* (the /16
+prefix), which drives addrman bucketing and outbound-diversity rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bitcoin's default P2P port; 95.78% of reachable nodes in the paper's
+#: measurement used it.
+DEFAULT_PORT = 8333
+
+
+@dataclass(frozen=True, order=True)
+class NetAddr:
+    """An (ip, port) endpoint in the simulated network."""
+
+    ip: int
+    port: int = DEFAULT_PORT
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ip <= 0xFFFFFFFF:
+            raise ValueError(f"ip must fit in 32 bits, got {self.ip}")
+        if not 0 < self.port <= 0xFFFF:
+            raise ValueError(f"port must be in 1..65535, got {self.port}")
+
+    @property
+    def group16(self) -> int:
+        """The /16 netgroup of the address (upper 16 bits of the IP)."""
+        return self.ip >> 16
+
+    @property
+    def dotted(self) -> str:
+        """Dotted-quad rendering of the IP."""
+        ip = self.ip
+        return f"{ip >> 24 & 0xFF}.{ip >> 16 & 0xFF}.{ip >> 8 & 0xFF}.{ip & 0xFF}"
+
+    @classmethod
+    def parse(cls, text: str) -> "NetAddr":
+        """Parse ``"a.b.c.d"`` or ``"a.b.c.d:port"`` into a :class:`NetAddr`.
+
+        >>> NetAddr.parse("10.0.0.1:8333").dotted
+        '10.0.0.1'
+        """
+        host, sep, port_text = text.partition(":")
+        port = int(port_text) if sep else DEFAULT_PORT
+        parts = host.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"not a dotted-quad address: {text!r}")
+        ip = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            ip = (ip << 8) | octet
+        return cls(ip=ip, port=port)
+
+    def __str__(self) -> str:
+        return f"{self.dotted}:{self.port}"
+
+
+@dataclass(frozen=True)
+class TimestampedAddr:
+    """An address plus the freshness timestamp carried in ADDR messages.
+
+    Bitcoin nodes gossip ``(address, last-seen-time)`` pairs; the timestamp
+    influences relay decisions and addrman eviction.
+    """
+
+    addr: NetAddr
+    timestamp: float
+
+    def __str__(self) -> str:
+        return f"{self.addr}@{self.timestamp:.0f}"

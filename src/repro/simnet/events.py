@@ -1,0 +1,127 @@
+"""Event scheduling for the discrete-event simulator.
+
+The scheduler keeps a binary heap of pending events ordered by
+``(time, sequence)``.  The sequence number makes ordering deterministic for
+events scheduled at the same instant: they fire in scheduling order, which
+keeps whole simulations reproducible from a seed.
+
+Cancellation is *lazy*: a cancelled event stays in the heap but is skipped
+when popped.  This keeps ``cancel`` O(1), which matters because protocol
+timers (handshake timeouts, pings) are cancelled far more often than they
+fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .clock import SimClock
+
+
+class EventHandle:
+    """A scheduled callback; returned by :meth:`Scheduler.schedule_at`.
+
+    Hold on to the handle to :meth:`cancel` the event before it fires.
+    """
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references early so cancelled timers do not pin objects
+        # (connections, nodes) in memory until they drain from the heap.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(when={self.when:.3f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed on cancellation."""
+
+
+class Scheduler:
+    """Deterministic event heap driving a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._fired = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of events in the heap, including lazily cancelled ones."""
+        return len(self._heap)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    def schedule_at(
+        self, when: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+        if when < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {when:.3f}, now is "
+                f"{self._clock.now:.3f}"
+            )
+        handle = EventHandle(when, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._clock.now + delay, callback, *args)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending (non-cancelled) event, or ``None``."""
+        self._drop_cancelled_head()
+        return self._heap[0].when if self._heap else None
+
+    def run_next(self) -> bool:
+        """Pop and execute the earliest event.
+
+        Returns ``True`` if an event was executed, ``False`` if the heap is
+        empty (after discarding cancelled events).
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._clock.advance_to(event.when)
+        self._fired += 1
+        event.callback(*event.args)
+        return True
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,171 @@
+"""The top-level discrete-event simulator.
+
+A :class:`Simulator` bundles the clock, the event scheduler, the seeded
+random streams, and the simulated network transport.  Everything else in
+the library (Bitcoin nodes, churn processes, crawlers) is built on this
+object and advances only when :meth:`run_until` / :meth:`run` dispatch
+events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import SimulationError
+from .clock import SimClock
+from .events import EventHandle, Scheduler
+from .latency import LatencyConfig, LatencyModel
+from .rand import RandomStreams
+from .transport import Network
+
+
+class Simulator:
+    """Clock + scheduler + RNG streams + network, under one seed."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency_config: Optional[LatencyConfig] = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.seed = int(seed)
+        self.clock = SimClock()
+        self.scheduler = Scheduler(self.clock)
+        self.random = RandomStreams(self.seed)
+        latency = LatencyModel(
+            latency_config if latency_config is not None else LatencyConfig(),
+            seed=self.seed,
+            rng=self.random.stream("latency"),
+        )
+        self.network = Network(
+            self.scheduler, self.clock, latency, connect_timeout=connect_timeout
+        )
+        #: Named components registered for introspection (nodes, services).
+        self.components: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        return self.scheduler.schedule(delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+        return self.scheduler.schedule_at(when, callback, *args)
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run ``callback(*args)`` every ``interval`` seconds until stopped."""
+        return PeriodicTask(self, interval, callback, args, start_delay)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single earliest event.  False if none pending."""
+        return self.scheduler.run_next()
+
+    def run_until(self, when: float, max_events: Optional[int] = None) -> int:
+        """Dispatch events until the clock reaches ``when``.
+
+        Returns the number of events dispatched.  The clock always ends at
+        exactly ``when`` even if the heap drains early, so periodic
+        measurement code can rely on the final time.
+        """
+        if when < self.clock.now:
+            raise SimulationError(
+                f"run_until({when}) but clock is already at {self.clock.now}"
+            )
+        dispatched = 0
+        hit_event_cap = False
+        while True:
+            if max_events is not None and dispatched >= max_events:
+                hit_event_cap = True
+                break
+            next_time = self.scheduler.next_event_time()
+            if next_time is None or next_time > when:
+                break
+            self.scheduler.run_next()
+            dispatched += 1
+        # Only land the clock on `when` if every due event was dispatched;
+        # advancing past undispatched events would corrupt time ordering.
+        if not hit_event_cap:
+            self.clock.advance_to(when)
+        return dispatched
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Dispatch events for ``duration`` seconds of simulated time."""
+        return self.run_until(self.clock.now + duration, max_events=max_events)
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Dispatch events until the heap is empty (bounded by max_events)."""
+        dispatched = 0
+        while dispatched < max_events and self.scheduler.run_next():
+            dispatched += 1
+        if dispatched >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return dispatched
+
+    # ------------------------------------------------------------------
+    # Component registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, component: Any) -> None:
+        """Register a named component (node, seeder, monitor, ...)."""
+        if name in self.components:
+            raise SimulationError(f"component {name!r} already registered")
+        self.components[name] = component
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(seed={self.seed}, now={self.clock.now:.1f}, "
+            f"pending={self.scheduler.pending})"
+        )
+
+
+class PeriodicTask:
+    """A repeating callback; create via :meth:`Simulator.call_every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        start_delay: Optional[float],
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._stopped = False
+        first = interval if start_delay is None else start_delay
+        self._handle = sim.schedule(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(*self._args)
+        if not self._stopped:
+            self._handle = self._sim.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        """Stop the periodic task.  Idempotent."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

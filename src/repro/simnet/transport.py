@@ -1,0 +1,376 @@
+"""Simulated TCP transport.
+
+The transport layer provides:
+
+* **listeners** — reachable endpoints register a handler and accept or
+  refuse inbound connections;
+* **connections** — bidirectional message pipes with per-packet latency
+  drawn from the :class:`~repro.simnet.latency.LatencyModel`;
+* **probes** — raw single-packet probes (the simulated analogue of the
+  paper's Scapy VER probe) answered according to per-address
+  :class:`ProbeBehavior`, which is how the NAT/firewall model expresses
+  "unreachable but responsive" nodes.
+
+Handlers are duck-typed.  A connection handler needs::
+
+    on_message(socket, message)   # a message arrived on the socket
+    on_disconnect(socket)         # the peer (or network) closed the socket
+
+and a listener additionally needs::
+
+    on_inbound_connection(socket) -> bool   # accept (True) or refuse
+
+No real sockets are opened anywhere; "TCP" here means the behaviours the
+paper's measurements depend on (connect timeouts vs. fast refusals, FIN
+responses to unsolicited packets, in-order delivery per direction).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import AddressInUseError, ConnectionClosedError, TransportError
+from .addresses import NetAddr
+from .clock import SimClock
+from .events import Scheduler
+from .latency import LatencyModel
+
+#: Default TCP connect timeout, matching Bitcoin Core's 5-second default.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+#: Extra handshake overhead on a successful connect (SYN/SYN-ACK/ACK).
+HANDSHAKE_ROUND_TRIPS = 1.5
+
+
+class ProbeBehavior(enum.Enum):
+    """How an address answers unsolicited packets (probes and SYNs)."""
+
+    #: No host, or a firewall that drops silently — probe times out.
+    SILENT = "silent"
+    #: Host refuses with RST — probe fails fast.
+    RST = "rst"
+    #: Host accepts the TCP handshake then closes with FIN on the Bitcoin
+    #: VER payload.  This is the paper's *responsive unreachable* node.
+    FIN = "fin"
+
+
+class ProbeResult(enum.Enum):
+    """Outcome of :meth:`Network.probe` as seen by the prober."""
+
+    SILENT = "silent"
+    RST = "rst"
+    FIN = "fin"
+    #: A full Bitcoin listener answered (the address is reachable).
+    BITCOIN = "bitcoin"
+
+
+class Socket:
+    """One endpoint's view of an established connection."""
+
+    __slots__ = (
+        "_network",
+        "local_addr",
+        "remote_addr",
+        "is_inbound",
+        "handler",
+        "_peer",
+        "open",
+        "opened_at",
+        "last_arrival_at",
+        "bytes_sent",
+        "messages_sent",
+        "user_data",
+    )
+
+    def __init__(
+        self,
+        network: "Network",
+        local_addr: NetAddr,
+        remote_addr: NetAddr,
+        is_inbound: bool,
+        opened_at: float,
+    ) -> None:
+        self._network = network
+        self.local_addr = local_addr
+        self.remote_addr = remote_addr
+        self.is_inbound = is_inbound
+        self.handler: Any = None
+        self._peer: Optional["Socket"] = None
+        self.open = True
+        self.opened_at = opened_at
+        #: Enforces per-direction FIFO delivery (TCP ordering): no packet
+        #: arrives before one sent earlier on the same socket.
+        self.last_arrival_at = opened_at
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        #: Free slot for protocol state (the Bitcoin layer stores its
+        #: per-connection Peer object here).
+        self.user_data: Any = None
+
+    def send(self, message: Any, extra_delay: float = 0.0) -> None:
+        """Deliver ``message`` to the remote endpoint after latency.
+
+        ``extra_delay`` models sender-side serialization (transmission
+        time); the caller computes it because uplink scheduling is the
+        node's job, not the network's.
+        """
+        if not self.open:
+            raise ConnectionClosedError(
+                f"send on closed socket {self.local_addr}->{self.remote_addr}"
+            )
+        self._network._deliver(self, message, extra_delay)
+        self.bytes_sent += getattr(message, "wire_size", 100)
+        self.messages_sent += 1
+
+    def close(self) -> None:
+        """Close the connection.  The peer learns after one latency."""
+        if not self.open:
+            return
+        self.open = False
+        self._network._close_initiated(self)
+
+    def __repr__(self) -> str:
+        direction = "in" if self.is_inbound else "out"
+        state = "open" if self.open else "closed"
+        return f"Socket({self.local_addr}->{self.remote_addr}, {direction}, {state})"
+
+
+class Network:
+    """The simulated internet: listeners, connections, probes, NAT."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        clock: SimClock,
+        latency: LatencyModel,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> None:
+        self._scheduler = scheduler
+        self._clock = clock
+        self.latency = latency
+        self.connect_timeout = connect_timeout
+        self._listeners: Dict[NetAddr, Any] = {}
+        self._probe_behavior: Dict[NetAddr, ProbeBehavior] = {}
+        self._sockets_by_addr: Dict[NetAddr, List[Socket]] = {}
+        # Monotone counters for whole-run accounting.
+        self.connects_attempted = 0
+        self.connects_succeeded = 0
+        self.connects_refused = 0
+        self.connects_timed_out = 0
+        self.messages_delivered = 0
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def listen(self, addr: NetAddr, handler: Any) -> None:
+        """Register ``handler`` to accept inbound connections on ``addr``."""
+        if addr in self._listeners:
+            raise AddressInUseError(f"{addr} already has a listener")
+        self._listeners[addr] = handler
+
+    def stop_listening(self, addr: NetAddr) -> None:
+        """Remove the listener on ``addr`` (no-op if absent)."""
+        self._listeners.pop(addr, None)
+
+    def is_listening(self, addr: NetAddr) -> bool:
+        return addr in self._listeners
+
+    # ------------------------------------------------------------------
+    # NAT / firewall behaviour for non-listening addresses
+    # ------------------------------------------------------------------
+    def set_probe_behavior(self, addr: NetAddr, behavior: ProbeBehavior) -> None:
+        """Define how the non-listening ``addr`` answers unsolicited packets."""
+        if behavior is ProbeBehavior.SILENT:
+            self._probe_behavior.pop(addr, None)
+        else:
+            self._probe_behavior[addr] = behavior
+
+    def probe_behavior(self, addr: NetAddr) -> ProbeBehavior:
+        return self._probe_behavior.get(addr, ProbeBehavior.SILENT)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        local_addr: NetAddr,
+        remote_addr: NetAddr,
+        handler: Any,
+        on_result: Callable[[Optional[Socket]], None],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Attempt a TCP connection from ``local_addr`` to ``remote_addr``.
+
+        ``on_result`` is invoked exactly once: with the outbound
+        :class:`Socket` on success, or ``None`` on refusal/timeout.  The
+        failure *timing* differs — an RST refusal fails after one RTT, a
+        silent drop only after ``timeout`` — because that difference is
+        what makes unreachable-address-polluted addrman tables so costly
+        (paper §IV-B).
+        """
+        self.connects_attempted += 1
+        if timeout is None:
+            timeout = self.connect_timeout
+        rtt = 2.0 * self.latency.sample(local_addr, remote_addr)
+
+        listener = self._listeners.get(remote_addr)
+        if listener is not None:
+            delay = rtt * HANDSHAKE_ROUND_TRIPS / 2.0 * 2.0  # ≈ 1.5 RTT
+            self._scheduler.schedule(
+                delay,
+                self._complete_connect,
+                local_addr,
+                remote_addr,
+                handler,
+                on_result,
+            )
+            return
+
+        behavior = self._probe_behavior.get(remote_addr, ProbeBehavior.SILENT)
+        if behavior in (ProbeBehavior.RST, ProbeBehavior.FIN):
+            # FIN-behaviour hosts accept the TCP handshake but close as
+            # soon as Bitcoin speaks; either way the *connection attempt*
+            # fails quickly rather than timing out.
+            self._scheduler.schedule(rtt, self._refuse_connect, on_result)
+        else:
+            self._scheduler.schedule(timeout, self._timeout_connect, on_result)
+
+    def _complete_connect(
+        self,
+        local_addr: NetAddr,
+        remote_addr: NetAddr,
+        handler: Any,
+        on_result: Callable[[Optional[Socket]], None],
+    ) -> None:
+        listener = self._listeners.get(remote_addr)
+        if listener is None:
+            # Listener vanished mid-handshake (node departed).
+            self.connects_timed_out += 1
+            on_result(None)
+            return
+        now = self._clock.now
+        out_sock = Socket(self, local_addr, remote_addr, False, now)
+        in_sock = Socket(self, remote_addr, local_addr, True, now)
+        out_sock._peer = in_sock
+        in_sock._peer = out_sock
+        out_sock.handler = handler
+        accepted = listener.on_inbound_connection(in_sock)
+        if not accepted:
+            self.connects_refused += 1
+            out_sock.open = False
+            in_sock.open = False
+            on_result(None)
+            return
+        if in_sock.handler is None:
+            in_sock.handler = listener
+        self.connects_succeeded += 1
+        self._sockets_by_addr.setdefault(local_addr, []).append(out_sock)
+        self._sockets_by_addr.setdefault(remote_addr, []).append(in_sock)
+        on_result(out_sock)
+
+    def _refuse_connect(self, on_result: Callable[[Optional[Socket]], None]) -> None:
+        self.connects_refused += 1
+        on_result(None)
+
+    def _timeout_connect(self, on_result: Callable[[Optional[Socket]], None]) -> None:
+        self.connects_timed_out += 1
+        on_result(None)
+
+    # ------------------------------------------------------------------
+    # Message delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, sender: Socket, message: Any, extra_delay: float) -> None:
+        peer = sender._peer
+        if peer is None:
+            raise TransportError("socket has no peer")
+        delay = self.latency.sample(sender.local_addr, sender.remote_addr)
+        arrive_at = self._clock.now + delay + extra_delay
+        # TCP delivers in order per direction: jitter must not let a later
+        # send overtake an earlier one (a VERACK arriving before its
+        # VERSION would wedge the handshake).
+        arrive_at = max(arrive_at, peer.last_arrival_at)
+        peer.last_arrival_at = arrive_at
+        self._scheduler.schedule_at(arrive_at, self._arrive, peer, message)
+
+    def _arrive(self, receiver: Socket, message: Any) -> None:
+        if not receiver.open:
+            return  # packets to a closed socket are dropped
+        self.messages_delivered += 1
+        receiver.handler.on_message(receiver, message)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _close_initiated(self, closer: Socket) -> None:
+        self._forget(closer)
+        peer = closer._peer
+        if peer is not None and peer.open:
+            delay = self.latency.sample(closer.local_addr, closer.remote_addr)
+            self._scheduler.schedule(delay, self._peer_closed, peer)
+
+    def _peer_closed(self, sock: Socket) -> None:
+        if not sock.open:
+            return
+        sock.open = False
+        self._forget(sock)
+        if sock.handler is not None:
+            sock.handler.on_disconnect(sock)
+
+    def _forget(self, sock: Socket) -> None:
+        socks = self._sockets_by_addr.get(sock.local_addr)
+        if socks is not None:
+            try:
+                socks.remove(sock)
+            except ValueError:
+                pass
+            if not socks:
+                del self._sockets_by_addr[sock.local_addr]
+
+    def disconnect_host(self, addr: NetAddr) -> int:
+        """Abruptly take ``addr`` off the network (node departure).
+
+        Closes every open socket bound to ``addr`` and removes its
+        listener.  Returns the number of closed sockets.
+        """
+        self.stop_listening(addr)
+        socks = list(self._sockets_by_addr.get(addr, ()))
+        for sock in socks:
+            sock.close()
+        return len(socks)
+
+    def open_sockets(self, addr: NetAddr) -> List[Socket]:
+        """The currently open sockets bound to ``addr``."""
+        return list(self._sockets_by_addr.get(addr, ()))
+
+    # ------------------------------------------------------------------
+    # Probing (the Scapy substitute)
+    # ------------------------------------------------------------------
+    def probe(
+        self,
+        local_addr: NetAddr,
+        remote_addr: NetAddr,
+        on_result: Callable[[ProbeResult], None],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Send a single crafted VER packet and report what answers.
+
+        Reachable addresses answer like Bitcoin nodes; non-listening
+        addresses answer per their :class:`ProbeBehavior`.  The FIN result
+        is the paper's *responsive* signal (§III-C).
+        """
+        self.probes_sent += 1
+        if timeout is None:
+            timeout = self.connect_timeout
+        rtt = 2.0 * self.latency.sample(local_addr, remote_addr)
+        if remote_addr in self._listeners:
+            self._scheduler.schedule(rtt, on_result, ProbeResult.BITCOIN)
+            return
+        behavior = self._probe_behavior.get(remote_addr, ProbeBehavior.SILENT)
+        if behavior is ProbeBehavior.FIN:
+            self._scheduler.schedule(rtt, on_result, ProbeResult.FIN)
+        elif behavior is ProbeBehavior.RST:
+            self._scheduler.schedule(rtt, on_result, ProbeResult.RST)
+        else:
+            self._scheduler.schedule(timeout, on_result, ProbeResult.SILENT)

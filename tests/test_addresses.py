@@ -1,0 +1,90 @@
+"""Tests for NetAddr parsing, groups, and timestamped records."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.addresses import DEFAULT_PORT, NetAddr, TimestampedAddr
+
+
+class TestNetAddr:
+    def test_parse_with_port(self):
+        addr = NetAddr.parse("10.1.2.3:1234")
+        assert addr.dotted == "10.1.2.3"
+        assert addr.port == 1234
+
+    def test_parse_without_port_uses_default(self):
+        assert NetAddr.parse("1.2.3.4").port == DEFAULT_PORT
+
+    def test_str_roundtrip(self):
+        text = "192.168.7.9:8333"
+        assert str(NetAddr.parse(text)) == text
+
+    def test_group16(self):
+        addr = NetAddr.parse("10.1.2.3")
+        assert addr.group16 == (10 << 8) | 1
+
+    def test_same_group_same_slash16(self):
+        a = NetAddr.parse("10.1.0.1")
+        b = NetAddr.parse("10.1.255.254")
+        c = NetAddr.parse("10.2.0.1")
+        assert a.group16 == b.group16
+        assert a.group16 != c.group16
+
+    def test_bad_octet_rejected(self):
+        with pytest.raises(ValueError):
+            NetAddr.parse("256.1.1.1")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            NetAddr.parse("10.1.1")
+
+    def test_port_bounds(self):
+        with pytest.raises(ValueError):
+            NetAddr(ip=1, port=0)
+        with pytest.raises(ValueError):
+            NetAddr(ip=1, port=70000)
+
+    def test_ip_bounds(self):
+        with pytest.raises(ValueError):
+            NetAddr(ip=-1)
+        with pytest.raises(ValueError):
+            NetAddr(ip=1 << 32)
+
+    def test_hashable_and_equal(self):
+        a = NetAddr.parse("1.2.3.4:8333")
+        b = NetAddr.parse("1.2.3.4:8333")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_distinct_ports_distinct_addrs(self):
+        a = NetAddr.parse("1.2.3.4:8333")
+        b = NetAddr.parse("1.2.3.4:8334")
+        assert a != b
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_parse_dotted_roundtrip(self, ip):
+        addr = NetAddr(ip=ip)
+        assert NetAddr.parse(addr.dotted).ip == ip
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=1, max_value=0xFFFF),
+    )
+    def test_ordering_is_total(self, ip, port):
+        a = NetAddr(ip=ip, port=port)
+        b = NetAddr(ip=(ip + 1) & 0xFFFFFFFF or 1, port=port)
+        assert (a < b) != (b < a) or a == b
+
+
+class TestTimestampedAddr:
+    def test_fields(self):
+        record = TimestampedAddr(NetAddr.parse("1.1.1.1"), 42.0)
+        assert record.timestamp == 42.0
+        assert "1.1.1.1" in str(record)
+
+    def test_frozen(self):
+        record = TimestampedAddr(NetAddr.parse("1.1.1.1"), 42.0)
+        with pytest.raises(Exception):
+            record.timestamp = 7.0

@@ -1,0 +1,161 @@
+"""Tests for the blockchain (orphans, tips) and mempool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitcoin.blockchain import Block, Blockchain, make_genesis
+from repro.bitcoin.mempool import Mempool, Transaction
+from repro.errors import ChainError
+
+
+def chain_of(length: int, start_id: int = 1) -> list:
+    blocks = []
+    prev = 0
+    for height in range(1, length + 1):
+        block = Block(
+            block_id=start_id + height - 1,
+            prev_id=prev,
+            height=height,
+            created_at=float(height),
+        )
+        prev = block.block_id
+        blocks.append(block)
+    return blocks
+
+
+class TestBlockchain:
+    def test_starts_at_genesis(self):
+        chain = Blockchain()
+        assert chain.height == 0
+        assert chain.tip.is_genesis
+
+    def test_linear_extension(self):
+        chain = Blockchain()
+        for block in chain_of(5):
+            assert chain.add_block(block) is True
+        assert chain.height == 5
+
+    def test_duplicate_ignored(self):
+        chain = Blockchain()
+        block = chain_of(1)[0]
+        assert chain.add_block(block) is True
+        assert chain.add_block(block) is False
+        assert chain.height == 1
+
+    def test_orphan_connects_when_parent_arrives(self):
+        chain = Blockchain()
+        b1, b2, b3 = chain_of(3)
+        assert chain.add_block(b3) is False  # orphan
+        assert chain.add_block(b2) is False  # orphan
+        assert chain.orphan_count == 2
+        assert chain.add_block(b1) is True  # connects all three
+        assert chain.height == 3
+        assert chain.orphan_count == 0
+
+    def test_block_at_height(self):
+        chain = Blockchain()
+        blocks = chain_of(4)
+        for block in blocks:
+            chain.add_block(block)
+        assert chain.block_at_height(2) == blocks[1]
+        assert chain.block_at_height(99) is None
+
+    def test_ids_above(self):
+        chain = Blockchain()
+        for block in chain_of(10):
+            chain.add_block(block)
+        assert chain.ids_above(3, limit=4) == [4, 5, 6, 7]
+        assert chain.ids_above(9, limit=100) == [10]
+        assert chain.ids_above(10, limit=5) == []
+
+    def test_second_genesis_rejected(self):
+        chain = Blockchain()
+        rogue_genesis = Block(block_id=42, prev_id=-1, height=0, created_at=0.0)
+        with pytest.raises(ChainError):
+            chain.add_block(rogue_genesis)
+
+    def test_re_adding_same_genesis_is_duplicate(self):
+        chain = Blockchain()
+        assert chain.add_block(make_genesis()) is False
+
+    def test_height_mismatch_rejected(self):
+        chain = Blockchain()
+        bad = Block(block_id=1, prev_id=0, height=5, created_at=0.0)
+        with pytest.raises(ChainError):
+            chain.add_block(bad)
+
+    def test_fork_does_not_advance_tip(self):
+        chain = Blockchain()
+        main = chain_of(3)
+        for block in main:
+            chain.add_block(block)
+        fork = Block(block_id=100, prev_id=main[0].block_id, height=2, created_at=9.0)
+        assert chain.add_block(fork) is False
+        assert chain.height == 3
+        assert chain.block_at_height(2) == main[1]
+
+    def test_contains_and_len(self):
+        chain = Blockchain()
+        blocks = chain_of(2)
+        for block in blocks:
+            chain.add_block(block)
+        assert blocks[0].block_id in chain
+        assert 999 not in chain
+        assert len(chain) == 3  # genesis + 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(order=st.permutations(list(range(12))))
+    def test_any_arrival_order_converges(self, order):
+        """Blocks delivered in any order must yield the same final chain."""
+        blocks = chain_of(12)
+        chain = Blockchain()
+        for index in order:
+            chain.add_block(blocks[index])
+        assert chain.height == 12
+        assert chain.orphan_count == 0
+
+
+class TestMempool:
+    def test_add_and_get(self):
+        pool = Mempool()
+        tx = Transaction(txid=1, size=250)
+        assert pool.add(tx) is True
+        assert pool.get(1) == tx
+        assert 1 in pool
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        pool.add(Transaction(txid=1))
+        assert pool.add(Transaction(txid=1)) is False
+        assert len(pool) == 1
+
+    def test_eviction_at_capacity(self):
+        pool = Mempool(max_size=3)
+        for txid in range(5):
+            pool.add(Transaction(txid=txid))
+        assert len(pool) == 3
+        assert 0 not in pool  # oldest evicted
+        assert 4 in pool
+
+    def test_remove_all(self):
+        pool = Mempool()
+        for txid in range(5):
+            pool.add(Transaction(txid=txid))
+        removed = pool.remove_all([1, 3, 99])
+        assert removed == 2
+        assert len(pool) == 3
+
+    def test_missing_from(self):
+        pool = Mempool()
+        pool.add(Transaction(txid=1))
+        pool.add(Transaction(txid=2))
+        assert pool.missing_from([1, 2, 3, 4]) == [3, 4]
+
+    def test_split_known(self):
+        pool = Mempool()
+        pool.add(Transaction(txid=1))
+        known, missing = pool.split_known([1, 2])
+        assert known == [1]
+        assert missing == [2]

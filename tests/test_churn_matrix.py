@@ -1,0 +1,177 @@
+"""Tests for Algorithm 4: the churn binary matrix and derived stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.churn_matrix import (
+    analyze,
+    build_matrix,
+    departures_between,
+    synchronized_departures,
+)
+from repro.errors import AnalysisError
+
+from .conftest import make_addr
+
+
+def snapshots_from_rows(rows):
+    """rows: dict addr-index -> presence string like '11010'."""
+    width = len(next(iter(rows.values())))
+    snapshots = []
+    for column in range(width):
+        snapshots.append(
+            {
+                make_addr(index)
+                for index, pattern in rows.items()
+                if pattern[column] == "1"
+            }
+        )
+    return snapshots
+
+
+class TestBuildMatrix:
+    def test_basic_shape(self):
+        snapshots = snapshots_from_rows({1: "110", 2: "011", 3: "111"})
+        matrix = build_matrix(snapshots, [0.0, 10.0, 20.0])
+        assert matrix.matrix.shape == (3, 3)
+        assert matrix.n_addresses == 3
+        assert matrix.snapshot_interval == 10.0
+
+    def test_rows_match_presence(self):
+        snapshots = snapshots_from_rows({1: "101"})
+        matrix = build_matrix(snapshots, [0.0, 1.0, 2.0])
+        row = matrix.matrix[matrix.addresses.index(make_addr(1))]
+        assert list(row) == [True, False, True]
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            build_matrix([set()], [0.0, 1.0])
+
+    def test_empty(self):
+        with pytest.raises(AnalysisError):
+            build_matrix([], [])
+
+
+class TestAnalyze:
+    def test_always_on(self):
+        snapshots = snapshots_from_rows({1: "111", 2: "110", 3: "011"})
+        stats = analyze(build_matrix(snapshots, [0.0, 1.0, 2.0]))
+        assert stats.always_on == 1
+        assert stats.unique_nodes == 3
+
+    def test_arrivals_departures(self):
+        snapshots = snapshots_from_rows({1: "110", 2: "011", 3: "101"})
+        stats = analyze(build_matrix(snapshots, [0.0, 1.0, 2.0]))
+        # col0→col1: node3 leaves, node2 arrives; col1→col2: node1 leaves,
+        # node3 arrives (a rejoin).
+        assert stats.departures == [1, 1]
+        assert stats.arrivals == [1, 1]
+
+    def test_rejoin_detection(self):
+        snapshots = snapshots_from_rows({1: "101", 2: "111", 3: "110"})
+        stats = analyze(build_matrix(snapshots, [0.0, 1.0, 2.0]))
+        assert stats.rejoining_nodes == 1
+
+    def test_lifetimes_first_to_last(self):
+        snapshots = snapshots_from_rows({1: "0110"})
+        stats = analyze(build_matrix(snapshots, [0.0, 10.0, 20.0, 30.0]))
+        assert stats.lifetimes == [10.0]
+
+    def test_departure_rate(self):
+        snapshots = snapshots_from_rows({1: "11", 2: "10"})
+        stats = analyze(build_matrix(snapshots, [0.0, 86400.0]))
+        assert stats.departure_rate == pytest.approx(1 / 1.5)
+
+    def test_mean_daily_departures_scales_with_interval(self):
+        snapshots = snapshots_from_rows({1: "10", 2: "11"})
+        stats = analyze(build_matrix(snapshots, [0.0, 43200.0]))
+        assert stats.mean_daily_departures(43200.0) == pytest.approx(2.0)
+
+    def test_single_snapshot_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze(build_matrix([{make_addr(1)}], [0.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        presence=st.lists(
+            st.lists(st.booleans(), min_size=4, max_size=4),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_flow_conservation(self, presence):
+        """Sum of arrivals - departures equals final minus initial size."""
+        snapshots = [
+            {make_addr(row) for row, flags in enumerate(presence) if flags[col]}
+            for col in range(4)
+        ]
+        if not any(snapshots):
+            return  # nothing ever present: matrix would be empty
+        matrix = build_matrix(snapshots, [0.0, 1.0, 2.0, 3.0])
+        stats = analyze(matrix)
+        net_flow = sum(stats.arrivals) - sum(stats.departures)
+        assert net_flow == len(snapshots[-1]) - len(snapshots[0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        presence=st.lists(
+            st.lists(st.booleans(), min_size=3, max_size=3),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_always_on_never_depart(self, presence):
+        snapshots = [
+            {make_addr(row) for row, flags in enumerate(presence) if flags[col]}
+            for col in range(3)
+        ]
+        if not any(snapshots):
+            return
+        stats = analyze(build_matrix(snapshots, [0.0, 1.0, 2.0]))
+        assert stats.always_on <= min(len(s) for s in snapshots)
+
+
+class TestDeparturesBetween:
+    def test_basic(self):
+        a, b, c = make_addr(1), make_addr(2), make_addr(3)
+        assert departures_between({a, b}, {b, c}) == {a}
+
+
+class TestSynchronizedDepartures:
+    def test_counts_only_synced(self):
+        a, b = make_addr(1), make_addr(2)
+        snapshots = [{a, b}, {b}, set()]
+        heights = [{a: 10, b: 8}, {b: 10}, {}]
+        best = [10, 10, 11]
+        stats = synchronized_departures(snapshots, heights, best)
+        # a left synced (10 >= 10); b left synced at window 2 (10 >= 10).
+        assert stats.total_departures == 2
+        assert stats.synchronized_departures == 2
+
+    def test_behind_node_not_counted(self):
+        a = make_addr(1)
+        snapshots = [{a}, set()]
+        heights = [{a: 5}, {}]
+        best = [10, 10]
+        stats = synchronized_departures(snapshots, heights, best)
+        assert stats.total_departures == 1
+        assert stats.synchronized_departures == 0
+
+    def test_per_window_rate(self):
+        a, b, c = make_addr(1), make_addr(2), make_addr(3)
+        snapshots = [{a, b, c}, {c}, {c}]
+        heights = [{a: 1, b: 1, c: 1}, {c: 1}, {c: 1}]
+        best = [1, 1, 1]
+        stats = synchronized_departures(snapshots, heights, best)
+        assert stats.sync_departures_per_window == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            synchronized_departures([set()], [{}], [0, 1])
+
+    def test_too_few_snapshots(self):
+        with pytest.raises(AnalysisError):
+            synchronized_departures([set()], [{}], [0])

@@ -1,0 +1,159 @@
+"""Tests for the address crawler (Fig. 2 left), Algorithm 1, Algorithm 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crawler import AddressCrawler
+from repro.core.getaddr import GetAddrConfig, GetAddrCrawler
+from repro.core.prober import ProbeConfig, VerProber
+from repro.errors import ScenarioError
+from repro.netmodel.addr_server import AddrServer
+from repro.netmodel.seeds import AddressViews
+from repro.simnet import ProbeBehavior
+
+from .conftest import make_addr
+
+CRAWLER = make_addr(60000)
+
+
+class TestAddressCrawler:
+    def _views(self):
+        bitnodes = {make_addr(i) for i in range(10)}
+        dns = {make_addr(i) for i in range(5, 13)}
+        return AddressViews(when=0.0, bitnodes=bitnodes, dns=dns, alive=bitnodes)
+
+    def test_merges_sources(self):
+        crawler = AddressCrawler(lambda addr: False)
+        crawl_input = crawler.collect(self._views())
+        assert crawl_input.stats.bitnodes_total == 10
+        assert crawl_input.stats.dns_total == 8
+        assert crawl_input.stats.common_total == 5
+        assert crawl_input.stats.union_total == 13
+        assert len(crawl_input.targets) == 13
+
+    def test_blacklist_excluded(self):
+        banned = {make_addr(0), make_addr(6)}
+        crawler = AddressCrawler(lambda addr: addr in banned)
+        crawl_input = crawler.collect(self._views())
+        assert crawl_input.stats.excluded_bitnodes == 2
+        assert crawl_input.stats.excluded_dns == 1
+        assert crawl_input.stats.excluded_common == 1
+        assert crawl_input.stats.provided == 11
+        assert banned.isdisjoint(crawl_input.targets)
+
+    def test_known_source_addrs(self):
+        crawler = AddressCrawler(lambda addr: False)
+        crawl_input = crawler.collect(self._views())
+        assert len(crawl_input.known_source_addrs) == 13
+
+
+class TestGetAddrCrawler:
+    def _server(self, sim, rng, index, table_size=60):
+        table = [make_addr(1000 + index * 1000 + i) for i in range(table_size)]
+        server = AddrServer(sim, make_addr(index), rng, table=table)
+        server.start()
+        return server
+
+    def test_harvests_tables(self, sim, rng):
+        servers = [self._server(sim, rng, i + 1) for i in range(4)]
+        crawler = GetAddrCrawler(sim, CRAWLER, GetAddrConfig(max_rounds=30))
+        result = crawler.run_to_completion([s.addr for s in servers])
+        assert len(result.connected_targets) == 4
+        # The adaptive crawl should harvest most of each table.
+        for server in servers:
+            harvest = result.harvests[server.addr]
+            assert harvest.connected
+            coverage = len(harvest.addresses & set(server.table)) / len(server.table)
+            assert coverage > 0.4
+            assert harvest.sent_own_addr
+
+    def test_dead_targets_counted_unconnected(self, sim, rng):
+        server = self._server(sim, rng, 1)
+        dead = make_addr(999)
+        crawler = GetAddrCrawler(sim, CRAWLER)
+        result = crawler.run_to_completion([server.addr, dead])
+        assert result.harvests[dead].connected is False
+        assert len(result.connected_targets) == 1
+
+    def test_unreachable_filtering(self, sim, rng):
+        server = self._server(sim, rng, 1)
+        crawler = GetAddrCrawler(sim, CRAWLER)
+        result = crawler.run_to_completion([server.addr])
+        reachable_known = {server.addr}
+        unreachable = result.unreachable_addresses(reachable_known)
+        assert server.addr not in unreachable
+        assert unreachable  # the table contents are not source-listed
+
+    def test_paper_stop_rule_terminates_on_full_table(self, sim, rng):
+        # A tiny table fits in one response: round 2 repeats → stop.
+        server = self._server(sim, rng, 1, table_size=5)
+        crawler = GetAddrCrawler(
+            sim, CRAWLER, GetAddrConfig(stop_rule="paper", max_rounds=50)
+        )
+        result = crawler.run_to_completion([server.addr])
+        harvest = result.harvests[server.addr]
+        assert harvest.rounds <= 5
+
+    def test_max_rounds_bounds_work(self, sim, rng):
+        server = self._server(sim, rng, 1, table_size=500)
+        crawler = GetAddrCrawler(
+            sim, CRAWLER, GetAddrConfig(max_rounds=3, adaptive_threshold=0.0)
+        )
+        result = crawler.run_to_completion([server.addr])
+        assert result.harvests[server.addr].rounds <= 3
+
+    def test_concurrency_bounded(self, sim, rng):
+        servers = [self._server(sim, rng, i + 1) for i in range(10)]
+        crawler = GetAddrCrawler(sim, CRAWLER, GetAddrConfig(concurrency=2))
+        result = crawler.run_to_completion([s.addr for s in servers])
+        assert len(result.connected_targets) == 10
+
+    def test_empty_target_list(self, sim):
+        crawler = GetAddrCrawler(sim, CRAWLER)
+        result = crawler.run_to_completion([])
+        assert crawler.done
+        assert result.harvests == {}
+
+    def test_invalid_config(self):
+        with pytest.raises(ScenarioError):
+            GetAddrConfig(stop_rule="bogus").validate()
+        with pytest.raises(ScenarioError):
+            GetAddrConfig(concurrency=0).validate()
+
+
+class TestVerProber:
+    def test_classifies_behaviours(self, sim):
+        fin = [make_addr(i) for i in range(1, 6)]
+        rst = [make_addr(i) for i in range(6, 9)]
+        silent = [make_addr(i) for i in range(9, 12)]
+        for addr in fin:
+            sim.network.set_probe_behavior(addr, ProbeBehavior.FIN)
+        for addr in rst:
+            sim.network.set_probe_behavior(addr, ProbeBehavior.RST)
+        prober = VerProber(sim, CRAWLER, ProbeConfig(concurrency=4))
+        result = prober.run_to_completion(fin + rst + silent)
+        assert result.responsive == set(fin)
+        assert result.rst == set(rst)
+        assert result.silent == set(silent)
+        assert result.probed == 11
+        assert result.responsive_share == pytest.approx(5 / 11)
+
+    def test_reachable_targets_flagged_bitcoin(self, sim, rng):
+        server = AddrServer(sim, make_addr(1), rng, table=[])
+        server.start()
+        prober = VerProber(sim, CRAWLER)
+        result = prober.run_to_completion([server.addr])
+        assert result.bitcoin == {server.addr}
+
+    def test_empty_targets(self, sim):
+        prober = VerProber(sim, CRAWLER)
+        result = prober.run_to_completion([])
+        assert result.probed == 0
+        assert result.responsive_share == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ScenarioError):
+            ProbeConfig(concurrency=0).validate()
+        with pytest.raises(ScenarioError):
+            ProbeConfig(timeout=0).validate()

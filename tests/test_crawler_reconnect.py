@@ -1,0 +1,77 @@
+"""Tests for the crawler's reconnect-and-repeat mode (Core workaround)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitcoin import NodeConfig
+from repro.core.getaddr import GetAddrConfig, GetAddrCrawler
+from repro.errors import ScenarioError
+
+from .conftest import make_addr, make_node
+
+CRAWLER = make_addr(60001)
+
+
+def _core_like_server(sim, table_size=300):
+    """A full BitcoinNode that ignores repeated GETADDR (Core default)."""
+    server = make_node(sim, 1, NodeConfig(serve_repeated_getaddr=False))
+    server.bootstrap([make_addr(i + 1000) for i in range(table_size)])
+    server.start()
+    return server
+
+
+class TestReconnectRounds:
+    def test_single_session_gets_one_sample(self, sim):
+        server = _core_like_server(sim)
+        crawler = GetAddrCrawler(
+            sim, CRAWLER, GetAddrConfig(reconnect_rounds=0, peer_timeout=8.0)
+        )
+        result = crawler.run_to_completion([server.addr])
+        harvest = result.harvests[server.addr]
+        assert harvest.sessions == 1
+        # One ADDR response ≈ 23% of a 300-entry table.
+        assert 40 <= len(harvest.addresses) <= 90
+
+    def test_reconnects_harvest_more(self, sim):
+        server = _core_like_server(sim)
+        crawler = GetAddrCrawler(
+            sim, CRAWLER, GetAddrConfig(reconnect_rounds=5, peer_timeout=8.0)
+        )
+        result = crawler.run_to_completion([server.addr])
+        harvest = result.harvests[server.addr]
+        assert harvest.sessions == 6
+        # Six independent 23% samples cover far more of the table.
+        assert len(harvest.addresses) > 150
+
+    def test_reconnect_bounded(self, sim):
+        server = _core_like_server(sim)
+        crawler = GetAddrCrawler(
+            sim, CRAWLER, GetAddrConfig(reconnect_rounds=2, peer_timeout=8.0)
+        )
+        result = crawler.run_to_completion([server.addr])
+        assert result.harvests[server.addr].sessions == 3
+
+    def test_dead_targets_not_reconnected(self, sim):
+        crawler = GetAddrCrawler(
+            sim, CRAWLER, GetAddrConfig(reconnect_rounds=3)
+        )
+        dead = make_addr(999)
+        result = crawler.run_to_completion([dead])
+        assert result.harvests[dead].sessions == 0
+        assert not result.harvests[dead].connected
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ScenarioError):
+            GetAddrConfig(reconnect_rounds=-1).validate()
+
+    def test_records_accumulate_across_sessions(self, sim):
+        server = _core_like_server(sim)
+        crawler = GetAddrCrawler(
+            sim, CRAWLER, GetAddrConfig(reconnect_rounds=3, peer_timeout=8.0)
+        )
+        result = crawler.run_to_completion([server.addr])
+        harvest = result.harvests[server.addr]
+        # total_records counts repeats; unique set does not.
+        assert harvest.total_records >= len(harvest.addresses)
+        assert harvest.addr_messages >= 4  # one ADDR response per session

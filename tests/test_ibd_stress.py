@@ -1,0 +1,130 @@
+"""Stress tests for initial block download under adverse conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitcoin import Block, MiningProcess, NodeConfig
+from repro.netmodel import ProtocolConfig, ProtocolScenario
+
+from .conftest import build_small_network, make_node
+
+
+class TestIBDUnderStress:
+    def test_joiner_syncs_while_chain_grows(self, sim):
+        """IBD must converge even though the tip keeps moving."""
+        nodes = build_small_network(sim, 10)
+        sim.run_for(120.0)
+        mining = MiningProcess(sim, lambda: nodes, block_interval=30.0)
+        mining.start()
+        sim.run_for(300.0)  # ~10 blocks on chain
+        joiner = make_node(sim, 99)
+        joiner.bootstrap([node.addr for node in nodes])
+        joiner.start()
+        sim.run_for(600.0)
+        assert joiner.chain.height >= mining.best_height - 1
+
+    def test_serving_peer_dies_mid_ibd(self, sim):
+        """Losing the block-serving peer must not wedge the download."""
+        nodes = build_small_network(sim, 10)
+        sim.run_for(120.0)
+        prev = 0
+        for height in range(1, 31):
+            block = Block(
+                block_id=height, prev_id=prev, height=height,
+                created_at=sim.now, size=400_000,
+            )
+            nodes[0].submit_block(block)
+            prev = height
+            sim.run_for(5.0)
+        sim.run_for(120.0)
+        joiner = make_node(sim, 99)
+        joiner.bootstrap([node.addr for node in nodes])
+        joiner.start()
+        sim.run_for(20.0)  # download under way
+        # Kill whichever peers the joiner is pulling from.
+        serving = [
+            next(n for n in nodes if n.addr == p.remote_addr)
+            for p in joiner.peers.values()
+            if p.blocks_in_flight
+        ]
+        for server in serving:
+            server.stop()
+        sim.run_for(900.0)
+        assert joiner.chain.height == 30
+
+    def test_many_concurrent_joiners(self, sim):
+        """Several IBDs through the same small network converge."""
+        nodes = build_small_network(sim, 8)
+        sim.run_for(120.0)
+        prev = 0
+        for height in range(1, 16):
+            nodes[0].submit_block(
+                Block(
+                    block_id=height, prev_id=prev, height=height,
+                    created_at=sim.now, size=200_000,
+                )
+            )
+            prev = height
+        sim.run_for(60.0)
+        joiners = []
+        for index in range(5):
+            joiner = make_node(sim, 200 + index)
+            joiner.bootstrap([node.addr for node in nodes])
+            joiner.start()
+            joiners.append(joiner)
+        sim.run_for(900.0)
+        for joiner in joiners:
+            assert joiner.chain.height == 15
+
+    def test_out_of_order_block_bursts(self, sim):
+        """A burst of orphan-order announcements still connects fully."""
+        a, b = make_node(sim, 1), make_node(sim, 2)
+        a.bootstrap([b.addr])
+        a.start()
+        b.start()
+        sim.run_for(30.0)
+        blocks = []
+        prev = 0
+        for height in range(1, 11):
+            block = Block(
+                block_id=height, prev_id=prev, height=height,
+                created_at=sim.now, size=1000,
+            )
+            blocks.append(block)
+            prev = height
+        # Feed b the chain in reverse through the public entry point of
+        # the acceptance path.
+        for block in reversed(blocks):
+            b._accept_block(None, block)  # noqa: SLF001
+        assert b.chain.height == 10
+        assert b.chain.orphan_count == 0
+        # And a catches up over the wire.
+        b._wake_handler()  # noqa: SLF001
+        sim.run_for(120.0)
+        assert a.chain.height == 10
+
+
+class TestChurnDuringIBD:
+    @pytest.mark.slow
+    def test_network_survives_sustained_churn(self):
+        scenario = ProtocolScenario(
+            ProtocolConfig(
+                n_reachable=30,
+                seed=71,
+                block_interval=300.0,
+                pre_mined_blocks=50,
+                churn_per_10min=10.0,
+            )
+        )
+        scenario.start(warmup=600.0)
+        scenario.sim.run_for(2 * 3600.0)
+        running = scenario.running_nodes()
+        # The network neither collapses nor wedges.
+        assert len(running) >= 18
+        synced = sum(
+            1 for node in running if node.chain.height >= scenario.best_height
+        )
+        assert synced / len(running) > 0.5
+        # Blocks kept being produced throughout.
+        assert scenario.mining.blocks_mined >= 10

@@ -1,0 +1,52 @@
+"""Tests for the PING keepalive round."""
+
+from __future__ import annotations
+
+from repro.bitcoin import NodeConfig
+
+from .conftest import make_node
+
+
+class TestPingRound:
+    def test_pings_flow_and_pongs_return(self, sim):
+        a = make_node(sim, 1, NodeConfig(ping_interval=10.0))
+        b = make_node(sim, 2)
+        a.bootstrap([b.addr])
+        a.start()
+        b.start()
+        sim.run_for(60.0)
+        peer_on_b = next(iter(b.peers.values()))
+        sock_to_a = peer_on_b.socket
+        # b answered pings: its socket to a carried pong traffic.
+        assert sock_to_a.messages_sent > 2  # version/verack/addr + pongs
+
+    def test_disabled_by_default(self, sim):
+        a = make_node(sim, 1)
+        assert a.config.ping_interval is None
+        a.start()
+        sim.run_for(30.0)
+        assert a._ping_task is None  # noqa: SLF001
+
+    def test_stop_cancels_ping_task(self, sim):
+        a = make_node(sim, 1, NodeConfig(ping_interval=5.0))
+        a.start()
+        assert a._ping_task is not None  # noqa: SLF001
+        a.stop()
+        assert a._ping_task is None  # noqa: SLF001
+
+    def test_ping_nonces_vary(self, sim):
+        a = make_node(sim, 1, NodeConfig(ping_interval=5.0))
+        b = make_node(sim, 2)
+        a.bootstrap([b.addr])
+        a.start()
+        b.start()
+        sim.run_for(3.0)
+        peer = next(iter(a.peers.values()), None)
+        if peer is None:
+            sim.run_for(10.0)
+            peer = next(iter(a.peers.values()))
+        a._send_ping_round()  # noqa: SLF001
+        a._send_ping_round()  # noqa: SLF001
+        nonces = [m.nonce for m in peer.send_queue if m.command == "ping"]
+        assert len(nonces) >= 2
+        assert len(set(nonces)) == len(nonces)

@@ -1,0 +1,135 @@
+"""Tests for the latency model and the random-stream utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.addresses import NetAddr
+from repro.simnet.latency import LatencyConfig, LatencyModel
+from repro.simnet.rand import (
+    derive_seed,
+    weighted_sample_without_replacement,
+    zipf_weights,
+)
+
+from .conftest import make_addr
+
+
+class TestLatencyModel:
+    def setup_method(self):
+        self.model = LatencyModel(seed=1, rng=random.Random(2))
+
+    def test_symmetric_base(self):
+        a, b = make_addr(1), make_addr(2)
+        assert self.model.base_latency(a, b) == self.model.base_latency(b, a)
+
+    def test_deterministic_base(self):
+        a, b = make_addr(1), make_addr(2)
+        other = LatencyModel(seed=1, rng=random.Random(99))
+        assert self.model.base_latency(a, b) == other.base_latency(a, b)
+
+    def test_within_bounds(self):
+        config = LatencyConfig()
+        for i in range(2, 50):
+            value = self.model.base_latency(make_addr(1), make_addr(i))
+            assert config.min_latency <= value <= config.max_latency
+
+    def test_local_latency_same_group(self):
+        a = NetAddr(ip=(7 << 16) | 1)
+        b = NetAddr(ip=(7 << 16) | 2)
+        assert self.model.base_latency(a, b) == LatencyConfig().local_latency
+
+    def test_jitter_stays_close_to_base(self):
+        a, b = make_addr(1), make_addr(2)
+        base = self.model.base_latency(a, b)
+        for _ in range(100):
+            sample = self.model.sample(a, b)
+            assert base * 0.89 <= sample <= base * 1.11
+
+    def test_zero_jitter_exact(self):
+        model = LatencyModel(LatencyConfig(jitter=0.0), seed=1, rng=random.Random(1))
+        a, b = make_addr(1), make_addr(2)
+        assert model.sample(a, b) == model.base_latency(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LatencyConfig(min_latency=0.2, max_latency=0.1).validate()
+        with pytest.raises(ValueError):
+            LatencyConfig(jitter=1.5).validate()
+        with pytest.raises(ValueError):
+            LatencyConfig(local_latency=0.0).validate()
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_not_concatenation(self):
+        # ("ab",) and ("a", "b") must differ.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_64_bit_range(self):
+        value = derive_seed(123, "stream")
+        assert 0 <= value < 2**64
+
+
+class TestWeightedSample:
+    def test_respects_k(self, rng):
+        got = weighted_sample_without_replacement(rng, list(range(10)), [1.0] * 10, 3)
+        assert len(got) == 3
+        assert len(set(got)) == 3
+
+    def test_zero_weight_never_sampled(self, rng):
+        population = ["keep", "drop"]
+        for _ in range(50):
+            got = weighted_sample_without_replacement(rng, population, [1.0, 0.0], 2)
+            assert "drop" not in got
+
+    def test_k_larger_than_population(self, rng):
+        got = weighted_sample_without_replacement(rng, [1, 2], [1.0, 1.0], 10)
+        assert sorted(got) == [1, 2]
+
+    def test_heavy_weight_dominates(self, rng):
+        wins = 0
+        for _ in range(200):
+            got = weighted_sample_without_replacement(
+                rng, ["heavy", "light"], [100.0, 1.0], 1
+            )
+            wins += got[0] == "heavy"
+        assert wins > 150
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            weighted_sample_without_replacement(rng, [1], [1.0, 2.0], 1)
+
+    def test_negative_weight(self, rng):
+        with pytest.raises(ValueError):
+            weighted_sample_without_replacement(rng, [1], [-1.0], 1)
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(100, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exponent_zero_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+    @given(st.integers(min_value=1, max_value=200), st.floats(min_value=0, max_value=3))
+    def test_always_positive(self, n, s):
+        assert all(w > 0 for w in zipf_weights(n, s))

@@ -1,0 +1,126 @@
+"""Tests for wire-message sizing and constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitcoin.blockchain import Block
+from repro.bitcoin.messages import (
+    Addr,
+    BlockMsg,
+    BlockTxn,
+    CmpctBlock,
+    GetAddr,
+    GetBlocks,
+    GetBlockTxn,
+    GetData,
+    HEADER_SIZE,
+    Inv,
+    InvItem,
+    InvType,
+    Ping,
+    Pong,
+    SendCmpct,
+    TxMsg,
+    Verack,
+    Version,
+)
+from repro.simnet.addresses import NetAddr, TimestampedAddr
+
+from .conftest import make_addr
+
+
+def _records(count):
+    return tuple(
+        TimestampedAddr(make_addr(index), 0.0) for index in range(count)
+    )
+
+
+class TestSizes:
+    def test_all_sizes_include_header(self):
+        block = Block(block_id=1, prev_id=0, height=1, created_at=0.0, size=500)
+        messages = [
+            Version(make_addr(1), make_addr(2), 0),
+            Verack(),
+            GetAddr(),
+            Addr(addresses=_records(3)),
+            Inv(items=(InvItem(InvType.TX, 1),)),
+            GetData(items=(InvItem(InvType.BLOCK, 1),)),
+            TxMsg(txid=1, size=300),
+            BlockMsg(block=block),
+            SendCmpct(high_bandwidth=True),
+            CmpctBlock(block=block),
+            GetBlockTxn(block_id=1, txids=(1, 2)),
+            BlockTxn(block_id=1, txids=(1, 2), total_size=700),
+            GetBlocks(from_height=5),
+            Ping(),
+            Pong(),
+        ]
+        for message in messages:
+            assert message.wire_size >= HEADER_SIZE, message.command
+
+    def test_addr_size_scales_with_records(self):
+        small = Addr(addresses=_records(1))
+        large = Addr(addresses=_records(100))
+        assert large.wire_size - small.wire_size == 99 * 30
+
+    def test_addr_rejects_over_1000(self):
+        with pytest.raises(ValueError):
+            Addr(addresses=_records(1001))
+
+    def test_addr_accepts_exactly_1000(self):
+        assert len(Addr(addresses=_records(1000)).addresses) == 1000
+
+    def test_block_size_dominates_blockmsg(self):
+        block = Block(block_id=1, prev_id=0, height=1, created_at=0.0, size=1_000_000)
+        assert BlockMsg(block=block).wire_size == HEADER_SIZE + 1_000_000
+
+    def test_cmpct_much_smaller_than_full_block(self):
+        block = Block(
+            block_id=1,
+            prev_id=0,
+            height=1,
+            created_at=0.0,
+            size=1_000_000,
+            txids=tuple(range(2000)),
+        )
+        assert CmpctBlock(block=block).wire_size < BlockMsg(block=block).wire_size / 50
+
+    def test_inv_size_scales(self):
+        one = Inv(items=(InvItem(InvType.TX, 1),))
+        ten = Inv(items=tuple(InvItem(InvType.TX, index) for index in range(10)))
+        assert ten.wire_size - one.wire_size == 9 * 36
+
+    def test_version_carries_height(self):
+        msg = Version(make_addr(1), make_addr(2), start_height=123)
+        assert msg.start_height == 123
+
+    def test_commands_are_distinct(self):
+        block = Block(block_id=1, prev_id=0, height=1, created_at=0.0)
+        commands = {
+            msg.command
+            for msg in [
+                Version(make_addr(1), make_addr(2), 0),
+                Verack(),
+                GetAddr(),
+                Addr(addresses=()),
+                Inv(items=()),
+                GetData(items=()),
+                TxMsg(txid=1),
+                BlockMsg(block=block),
+                SendCmpct(),
+                CmpctBlock(block=block),
+                GetBlockTxn(block_id=1, txids=()),
+                BlockTxn(block_id=1, txids=(), total_size=0),
+                GetBlocks(from_height=0),
+                Ping(),
+                Pong(),
+            ]
+        }
+        assert len(commands) == 15
+
+    def test_cmpctblock_exposes_block_identity(self):
+        block = Block(block_id=7, prev_id=6, height=3, created_at=0.0, txids=(1, 2))
+        msg = CmpctBlock(block=block)
+        assert msg.block_id == 7
+        assert msg.txids == (1, 2)

@@ -1,0 +1,262 @@
+"""White-box tests of individual protocol paths in BitcoinNode.
+
+These exercise the message handlers directly (compact-block
+reconstruction, GETBLOCKTXN round trips, inventory bookkeeping, the
+round-robin fairness of the handler engine) without relying on whole-
+network emergent behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitcoin import (
+    BitcoinNode,
+    Block,
+    NodeConfig,
+    Transaction,
+)
+from repro.bitcoin.messages import (
+    BlockMsg,
+    BlockTxn,
+    CmpctBlock,
+    GetAddr,
+    GetBlocks,
+    GetData,
+    Inv,
+    InvItem,
+    InvType,
+    SendCmpct,
+    TxMsg,
+)
+
+from .conftest import make_addr, make_node
+
+
+def connected_pair(sim, config_a=None, config_b=None):
+    a = make_node(sim, 1, config_a)
+    b = make_node(sim, 2, config_b)
+    a.bootstrap([b.addr])
+    a.start()
+    b.start()
+    sim.run_for(30.0)
+    peer_on_a = next(iter(a.peers.values()))
+    peer_on_b = next(iter(b.peers.values()))
+    assert peer_on_a.established and peer_on_b.established
+    return a, b, peer_on_a, peer_on_b
+
+
+class TestCompactBlockPath:
+    def test_reconstruction_with_full_mempool(self, sim):
+        a, b, peer_a, _peer_b = connected_pair(sim)
+        for txid in (11, 12, 13):
+            a.mempool.add(Transaction(txid=txid))
+        block = Block(
+            block_id=1, prev_id=0, height=1, created_at=sim.now,
+            txids=(11, 12, 13), size=1200,
+        )
+        a._handle_cmpctblock(peer_a, CmpctBlock(block=block))  # noqa: SLF001
+        assert block.block_id in a.chain
+        # Confirmed txs leave the mempool.
+        assert 11 not in a.mempool
+
+    def test_missing_txs_trigger_getblocktxn(self, sim):
+        a, b, peer_a, peer_b = connected_pair(sim)
+        b.mempool.add(Transaction(txid=21))
+        b.mempool.add(Transaction(txid=22))
+        block = Block(
+            block_id=1, prev_id=0, height=1, created_at=sim.now,
+            txids=(21, 22), size=900,
+        )
+        b.chain.add_block(block)
+        # a holds neither tx: the compact block cannot reconstruct.
+        a._handle_cmpctblock(peer_a, CmpctBlock(block=block))  # noqa: SLF001
+        assert block.block_id not in a.chain
+        assert block.block_id in a._pending_cmpct  # noqa: SLF001
+        requests = [m for m in peer_a.send_queue if m.command == "getblocktxn"]
+        assert len(requests) == 1
+        assert set(requests[0].txids) == {21, 22}
+        # Drive the exchange to completion over the wire.  (In production
+        # the handler loop is already running; the direct handler call
+        # above bypassed it, so wake it explicitly.)
+        a._wake_handler()  # noqa: SLF001
+        sim.run_for(30.0)
+        assert block.block_id in a.chain
+        assert 21 in {t for t in (21, 22) if t in a.mempool or True}
+
+    def test_blocktxn_for_unknown_block_ignored(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        a._handle_blocktxn(  # noqa: SLF001
+            peer_a, BlockTxn(block_id=99, txids=(1,), total_size=350)
+        )
+        assert 99 not in a.chain
+
+    def test_getblocktxn_for_unknown_block_ignored(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        before = len(peer_a.send_queue)
+        a._handle_getblocktxn(  # noqa: SLF001
+            peer_a, __import__("repro.bitcoin.messages", fromlist=["GetBlockTxn"]).GetBlockTxn(block_id=99, txids=(1,))
+        )
+        assert len(peer_a.send_queue) == before
+
+    def test_duplicate_cmpctblock_ignored(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        block = Block(block_id=1, prev_id=0, height=1, created_at=sim.now, size=500)
+        a._handle_cmpctblock(peer_a, CmpctBlock(block=block))  # noqa: SLF001
+        assert block.block_id in a.chain
+        queue_before = len(peer_a.send_queue)
+        a._handle_cmpctblock(peer_a, CmpctBlock(block=block))  # noqa: SLF001
+        assert len(peer_a.send_queue) == queue_before
+
+
+class TestInventoryPath:
+    def test_inv_requests_only_unknown(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        block = Block(block_id=1, prev_id=0, height=1, created_at=sim.now, size=500)
+        a.chain.add_block(block)
+        a.mempool.add(Transaction(txid=5))
+        peer_a.send_queue.clear()
+        a._handle_inv(  # noqa: SLF001
+            peer_a,
+            Inv(
+                items=(
+                    InvItem(InvType.BLOCK, 1),   # already have
+                    InvItem(InvType.BLOCK, 2),   # want
+                    InvItem(InvType.TX, 5),      # already have
+                    InvItem(InvType.TX, 6),      # want
+                )
+            ),
+        )
+        getdata = [m for m in peer_a.send_queue if m.command == "getdata"]
+        assert len(getdata) == 1
+        wanted = {(item.type, item.object_id) for item in getdata[0].items}
+        assert wanted == {(InvType.BLOCK, 2), (InvType.TX, 6)}
+
+    def test_blocks_in_flight_capped(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        peer_a.send_queue.clear()
+        items = tuple(InvItem(InvType.BLOCK, 100 + i) for i in range(40))
+        a._handle_inv(peer_a, Inv(items=items))  # noqa: SLF001
+        assert len(peer_a.blocks_in_flight) <= 16
+
+    def test_getdata_serves_known_objects(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        block = Block(block_id=1, prev_id=0, height=1, created_at=sim.now, size=500)
+        a.chain.add_block(block)
+        a.mempool.add(Transaction(txid=5, size=280))
+        peer_a.send_queue.clear()
+        a._handle_getdata(  # noqa: SLF001
+            peer_a,
+            GetData(
+                items=(
+                    InvItem(InvType.BLOCK, 1),
+                    InvItem(InvType.TX, 5),
+                    InvItem(InvType.BLOCK, 999),  # unknown: skipped
+                )
+            ),
+        )
+        commands = [m.command for m in peer_a.send_queue]
+        assert commands == ["block", "tx"]
+
+    def test_getblocks_serves_inventory_above_height(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        prev = 0
+        for height in range(1, 6):
+            block = Block(
+                block_id=height, prev_id=prev, height=height,
+                created_at=sim.now, size=300,
+            )
+            a.chain.add_block(block)
+            prev = height
+        peer_a.send_queue.clear()
+        a._handle_getblocks(peer_a, GetBlocks(from_height=2))  # noqa: SLF001
+        invs = [m for m in peer_a.send_queue if m.command == "inv"]
+        assert len(invs) == 1
+        ids = [item.object_id for item in invs[0].items]
+        assert ids == [3, 4, 5]
+
+
+class TestSendCmpctNegotiation:
+    def test_high_bandwidth_flag_recorded(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        a._handle_sendcmpct(peer_a, SendCmpct(high_bandwidth=True))  # noqa: SLF001
+        assert peer_a.wants_cmpct_hb
+        a._handle_sendcmpct(peer_a, SendCmpct(high_bandwidth=False))  # noqa: SLF001
+        assert not peer_a.wants_cmpct_hb
+
+    def test_hb_peers_get_cmpctblock_push(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        a._handle_sendcmpct(peer_a, SendCmpct(high_bandwidth=True))  # noqa: SLF001
+        peer_a.send_queue.clear()
+        block = Block(block_id=1, prev_id=0, height=1, created_at=sim.now, size=400)
+        a.submit_block(block)
+        pushed = [m for m in peer_a.send_queue if m.command == "cmpctblock"]
+        assert len(pushed) == 1
+
+    def test_low_bandwidth_peers_get_inv(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        a._handle_sendcmpct(peer_a, SendCmpct(high_bandwidth=False))  # noqa: SLF001
+        peer_a.send_queue.clear()
+        block = Block(block_id=1, prev_id=0, height=1, created_at=sim.now, size=400)
+        a.submit_block(block)
+        announcements = [m.command for m in peer_a.send_queue]
+        assert "inv" in announcements
+        assert "cmpctblock" not in announcements
+
+
+class TestRoundRobinFairness:
+    def test_one_message_per_peer_per_pass(self, sim):
+        """A chatty peer must not starve others (Fig. 9 / Alg. 3)."""
+        hub = make_node(sim, 0, NodeConfig(serve_repeated_getaddr=True))
+        hub.start()
+        clients = []
+        for index in range(1, 4):
+            client = make_node(sim, index)
+            client.bootstrap([hub.addr])
+            client.start()
+            clients.append(client)
+        sim.run_for(30.0)
+        peers = list(hub.peers.values())
+        assert len(peers) == 3
+        # Stack 5 GETADDRs on peer 0, one on the others.
+        for _ in range(5):
+            peers[0].process_queue.append(GetAddr())
+        peers[1].process_queue.append(GetAddr())
+        peers[2].process_queue.append(GetAddr())
+        hub._handler_pass()  # noqa: SLF001 - single pass, no reschedule wait
+        # One message consumed from EACH queue, not five from the first.
+        assert len(peers[0].process_queue) == 4
+        assert len(peers[1].process_queue) == 0
+        assert len(peers[2].process_queue) == 0
+
+    def test_uplink_serializes_sends(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        start = a._uplink_free_at  # noqa: SLF001
+        peer_a.send_queue.clear()
+        big_block = Block(
+            block_id=1, prev_id=0, height=1, created_at=sim.now, size=1_000_000
+        )
+        a.chain.add_block(big_block)
+        peer_a.enqueue_send(BlockMsg(block=big_block))
+        a._handler_pass()  # noqa: SLF001
+        transmit = 1_000_000 / a.config.uplink_bandwidth
+        assert a._uplink_free_at >= sim.now + transmit * 0.99  # noqa: SLF001
+
+
+class TestTxPath:
+    def test_duplicate_tx_not_rerelayed(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        a._handle_tx(peer_a, TxMsg(txid=5, size=300))  # noqa: SLF001
+        pending_after_first = {
+            txid for p in a.peers.values() for txid in p.pending_tx_invs
+        }
+        a._handle_tx(peer_a, TxMsg(txid=5, size=300))  # noqa: SLF001
+        pending_after_second = {
+            txid for p in a.peers.values() for txid in p.pending_tx_invs
+        }
+        assert pending_after_first == pending_after_second
+
+    def test_tx_not_echoed_to_sender(self, sim):
+        a, _b, peer_a, _peer_b = connected_pair(sim)
+        a._handle_tx(peer_a, TxMsg(txid=5, size=300))  # noqa: SLF001
+        assert 5 not in peer_a.pending_tx_invs

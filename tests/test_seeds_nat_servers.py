@@ -1,0 +1,270 @@
+"""Tests for the address oracles, NAT model, addr servers, and flooders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bitcoin.messages import Addr, GetAddr, Version
+from repro.netmodel.addr_server import AddrServer
+from repro.netmodel.asmap import ASUniverse
+from repro.netmodel.churn import PresenceTimeline
+from repro.netmodel.malicious import (
+    FloodVolumeModel,
+    MaliciousAddrServer,
+    plant_flooders,
+)
+from repro.netmodel.nat import NatModel
+from repro.netmodel.population import Population, PopulationConfig
+from repro.netmodel.seeds import AddressOracles, DnsSeeder, SeedViewConfig
+from repro.simnet import ProbeBehavior, Simulator
+from repro.units import DAYS
+
+from .conftest import make_addr
+
+
+class TestDnsSeeder:
+    def test_register_query(self, rng):
+        seeder = DnsSeeder(rng)
+        addrs = [make_addr(i) for i in range(20)]
+        for addr in addrs:
+            seeder.register(addr)
+        got = seeder.query(5)
+        assert len(got) == 5
+        assert set(got) <= set(addrs)
+
+    def test_register_idempotent(self, rng):
+        seeder = DnsSeeder(rng)
+        addr = make_addr(1)
+        seeder.register(addr)
+        seeder.register(addr)
+        assert len(seeder) == 1
+
+    def test_unregister(self, rng):
+        seeder = DnsSeeder(rng)
+        addr = make_addr(1)
+        seeder.register(addr)
+        seeder.unregister(addr)
+        assert len(seeder) == 0
+        assert seeder.query() == []
+
+
+def _timeline_world(rng, count=400):
+    universe = ASUniverse(rng)
+    population = Population(
+        rng,
+        universe,
+        PopulationConfig(scale=0.02, cumulative_reachable=count / 0.02),
+    )
+    timeline = PresenceTimeline(60 * DAYS)
+    # First half alive the whole campaign; second half departed at day 10.
+    half = len(population.reachable) // 2
+    for record in population.reachable[:half]:
+        timeline.set_intervals(record.addr, [(0.0, 60 * DAYS)])
+    for record in population.reachable[half:]:
+        timeline.set_intervals(record.addr, [(0.0, 10 * DAYS)])
+    return population, timeline
+
+
+class TestAddressOracles:
+    def test_views_cover_alive_at_expected_rate(self, rng):
+        population, timeline = _timeline_world(rng)
+        oracles = AddressOracles(rng, population.reachable, timeline)
+        views = oracles.snapshot(30 * DAYS)
+        alive = len(views.alive)
+        coverage = len(views.bitnodes & views.alive) / alive
+        assert 0.68 <= coverage <= 0.88  # configured 0.78
+
+    def test_membership_is_sticky(self, rng):
+        population, timeline = _timeline_world(rng)
+        oracles = AddressOracles(rng, population.reachable, timeline)
+        first = oracles.snapshot(20 * DAYS)
+        second = oracles.snapshot(30 * DAYS)
+        # Alive nodes keep their Bitnodes membership between snapshots.
+        assert (first.bitnodes & first.alive) == (second.bitnodes & second.alive)
+
+    def test_departed_nodes_age_out(self, rng):
+        population, timeline = _timeline_world(rng)
+        oracles = AddressOracles(rng, population.reachable, timeline)
+        shortly_after = oracles.snapshot(12 * DAYS)
+        long_after = oracles.snapshot(40 * DAYS)
+        departed = {
+            record.addr
+            for record in population.reachable
+            if not timeline.alive_at(record.addr, 12 * DAYS)
+            and timeline.ever_seen(record.addr)
+        }
+        assert len(shortly_after.bitnodes & departed) > 0
+        assert len(long_after.bitnodes & departed) == 0
+
+    def test_dns_mostly_subset_of_bitnodes(self, rng):
+        population, timeline = _timeline_world(rng)
+        oracles = AddressOracles(rng, population.reachable, timeline)
+        views = oracles.snapshot(30 * DAYS)
+        assert len(views.common) / len(views.dns) > 0.7
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SeedViewConfig(bitnodes_alive_coverage=1.5).validate()
+
+
+class TestNatModel:
+    def test_responsive_marked_fin(self, sim, rng):
+        nat = NatModel(sim.network, rng)
+        addrs = [make_addr(i) for i in range(5)]
+        nat.mark_responsive(addrs)
+        for addr in addrs:
+            assert sim.network.probe_behavior(addr) is ProbeBehavior.FIN
+
+    def test_silent_mix_of_rst_and_silent(self, sim, rng):
+        nat = NatModel(sim.network, rng, rst_fraction=0.5)
+        addrs = [make_addr(i) for i in range(200)]
+        nat.mark_silent(addrs)
+        behaviors = [sim.network.probe_behavior(addr) for addr in addrs]
+        rst_share = behaviors.count(ProbeBehavior.RST) / len(behaviors)
+        assert 0.35 < rst_share < 0.65
+
+    def test_mark_offline(self, sim, rng):
+        nat = NatModel(sim.network, rng)
+        addr = make_addr(1)
+        nat.mark_responsive([addr])
+        nat.mark_offline(addr)
+        assert sim.network.probe_behavior(addr) is ProbeBehavior.SILENT
+
+    def test_invalid_fraction(self, sim, rng):
+        with pytest.raises(ValueError):
+            NatModel(sim.network, rng, rst_fraction=2.0)
+
+
+class _Collector:
+    def __init__(self):
+        self.messages = []
+
+    def on_message(self, socket, message):
+        self.messages.append(message)
+
+    def on_disconnect(self, socket):
+        pass
+
+
+def _getaddr_exchange(sim, server):
+    collector = _Collector()
+    out = []
+    sim.network.connect(make_addr(900), server.addr, collector, out.append)
+    sim.run_for(5.0)
+    sock = out[0]
+    sock.send(Version(make_addr(900), server.addr, 0))
+    sim.run_for(5.0)
+    sock.send(GetAddr())
+    sim.run_for(5.0)
+    addrs = [m for m in collector.messages if m.command == "addr"]
+    return addrs[-1] if addrs else None
+
+
+class TestAddrServer:
+    def test_serves_sample_with_self_first(self, sim, rng):
+        table = [make_addr(i + 10) for i in range(100)]
+        server = AddrServer(sim, make_addr(1), rng, table=table)
+        server.start()
+        response = _getaddr_exchange(sim, server)
+        assert response is not None
+        assert response.addresses[0].addr == server.addr
+        assert 0 < len(response.addresses) <= 1000
+        sample = {record.addr for record in response.addresses[1:]}
+        assert sample <= set(table)
+
+    def test_response_respects_23_percent(self, sim, rng):
+        table = [make_addr(i + 10) for i in range(100)]
+        server = AddrServer(sim, make_addr(1), rng, table=table)
+        server.start()
+        response = _getaddr_exchange(sim, server)
+        assert len(response.addresses) <= 1 + 23
+
+    def test_stop_refuses_connections(self, sim, rng):
+        server = AddrServer(sim, make_addr(1), rng)
+        server.start()
+        server.stop()
+        out = []
+        sim.network.connect(make_addr(2), server.addr, _Collector(), out.append)
+        sim.run_for(10.0)
+        assert out == [None]
+
+    def test_inbound_cap(self, sim, rng):
+        server = AddrServer(sim, make_addr(1), rng, max_inbound=1)
+        server.start()
+        results = []
+        sim.network.connect(make_addr(2), server.addr, _Collector(), results.append)
+        sim.network.connect(make_addr(3), server.addr, _Collector(), results.append)
+        sim.run_for(10.0)
+        assert sum(1 for sock in results if sock is not None) == 1
+
+
+class TestMaliciousAddrServer:
+    def _flooder(self, sim, rng, volume=2500):
+        universe = ASUniverse(rng)
+        population = Population(rng, universe, PopulationConfig(scale=0.002))
+        return MaliciousAddrServer(
+            sim, make_addr(1), rng, population=population, flood_volume=volume
+        )
+
+    def test_never_includes_self(self, sim, rng):
+        flooder = self._flooder(sim, rng)
+        flooder.start()
+        response = _getaddr_exchange(sim, flooder)
+        assert all(record.addr != flooder.addr for record in response.addresses)
+
+    def test_serves_fresh_fakes_up_to_volume(self, sim, rng):
+        flooder = self._flooder(sim, rng, volume=2500)
+        flooder.start()
+        seen = set()
+        for _ in range(5):
+            response = _getaddr_exchange(sim, flooder)
+            seen |= {record.addr for record in response.addresses}
+        assert len(seen) == 2500  # pool exhausted, then repeats
+
+    def test_set_table_does_not_clear_pool(self, sim, rng):
+        flooder = self._flooder(sim, rng, volume=100)
+        flooder.start()
+        _getaddr_exchange(sim, flooder)
+        flooder.set_table([make_addr(50)])
+        assert len(flooder.table) == 100
+
+
+class TestFloodVolumeModel:
+    def test_scale_applies(self, rng):
+        model = FloodVolumeModel()
+        full = [model.sample(random.Random(i)) for i in range(50)]
+        scaled = [model.sample(random.Random(i), scale=0.1) for i in range(50)]
+        for f, s in zip(full, scaled):
+            # Same seed, scaled draw — modulo the absolute floor of 30.
+            assert s == max(30, int(f * 0.1), int(model.floor * 0.1)) or abs(
+                s - f * 0.1
+            ) <= max(1, f * 0.02)
+
+    def test_heavy_tail_exists(self):
+        model = FloodVolumeModel()
+        rng = random.Random(0)
+        draws = [model.sample(rng) for _ in range(500)]
+        # Log-normal pools: most modest, a skewed tail of big ones.
+        assert max(draws) > 8 * model.median
+        typical = sum(1 for v in draws if v < 3 * model.median)
+        assert typical / len(draws) > 0.7
+
+    def test_tiny_scale_stays_detectable(self):
+        model = FloodVolumeModel()
+        rng = random.Random(0)
+        draws = [model.sample(rng, scale=0.001) for _ in range(100)]
+        assert min(draws) >= 30
+
+
+class TestPlantFlooders:
+    def test_count_and_as_clustering(self, sim, rng):
+        universe = ASUniverse(rng)
+        population = Population(rng, universe, PopulationConfig(scale=0.002))
+        flooders = plant_flooders(sim, rng, population, scale=1.0, count=73)
+        assert len(flooders) == 73
+        in_3320 = sum(
+            1 for f in flooders if universe.asn_of(f.addr) == 3320
+        )
+        assert 0.4 < in_3320 / len(flooders) < 0.8  # paper: 59%
