@@ -156,6 +156,12 @@ class AddrMan:
         self._info: Dict[NetAddr, AddrInfo] = {}
         self._new = _Table(new_buckets, bucket_size, rng)
         self._tried = _Table(tried_buckets, bucket_size, rng)
+        # Bucket indices are pure functions of the (keyed) SHA-256 in
+        # derive_seed, so memoising them changes no placement — it only
+        # skips re-hashing on every ADDR gossip record.  Keys are small:
+        # netgroup pairs for new, one entry per promoted address for tried.
+        self._new_bucket_cache: Dict[tuple, int] = {}
+        self._tried_bucket_cache: Dict[NetAddr, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,16 +195,25 @@ class AddrMan:
     # ------------------------------------------------------------------
     def _new_bucket(self, addr: NetAddr, source: Optional[NetAddr]) -> int:
         source_group = source.group16 if source is not None else 0
-        return (
-            derive_seed(self._key, f"new:{addr.group16}:{source_group}")
-            % self._new.bucket_count
-        )
+        key = (addr.group16, source_group)
+        bucket = self._new_bucket_cache.get(key)
+        if bucket is None:
+            bucket = (
+                derive_seed(self._key, f"new:{key[0]}:{source_group}")
+                % self._new.bucket_count
+            )
+            self._new_bucket_cache[key] = bucket
+        return bucket
 
     def _tried_bucket(self, addr: NetAddr) -> int:
-        return (
-            derive_seed(self._key, f"tried:{addr.ip}:{addr.port}")
-            % self._tried.bucket_count
-        )
+        bucket = self._tried_bucket_cache.get(addr)
+        if bucket is None:
+            bucket = (
+                derive_seed(self._key, f"tried:{addr.ip}:{addr.port}")
+                % self._tried.bucket_count
+            )
+            self._tried_bucket_cache[addr] = bucket
+        return bucket
 
     # ------------------------------------------------------------------
     # Mutation

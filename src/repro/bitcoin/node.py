@@ -411,31 +411,44 @@ class BitcoinNode:
         self._handler_scheduled = False
         if not self.running:
             return
+        # This is the hottest protocol loop in the simulator (one pass per
+        # message burst on every node), so the per-iteration constants —
+        # config values, the dispatch table, and the clock, none of which
+        # change mid-pass — are hoisted to locals.
+        peers = self.peers
+        config = self.config
+        proc_time = config.proc_times.get
+        default_proc_time = config.default_proc_time
+        dispatch = self._DISPATCH.get
+        now = self.sim.clock._now
         busy = 0.0
         # --- ThreadMessageHandler: one message per peer per pass ---
-        for socket, peer in list(self.peers.items()):
-            if socket not in self.peers:
+        for socket, peer in list(peers.items()):
+            if socket not in peers:
                 continue  # dropped by an earlier handler in this pass
             if peer.process_queue:
                 message = peer.process_queue.popleft()
-                busy += self.config.proc_times.get(
-                    message.command, self.config.default_proc_time
-                )
-                self._process_message(peer, message)
+                busy += proc_time(message.command, default_proc_time)
+                handler = dispatch(message.command)
+                if handler is not None:
+                    handler(self, peer, message)
         # --- SocketHandler: one send per peer per pass, uplink-serialized ---
-        send_epoch = self.sim.now + busy
-        for socket, peer in list(self.peers.items()):
+        send_epoch = now + busy
+        uplink_free_at = self._uplink_free_at
+        uplink_bandwidth = config.uplink_bandwidth
+        for socket, peer in list(peers.items()):
             if not peer.send_queue or not socket.open:
                 continue
             message = peer.send_queue.popleft()
-            start = max(send_epoch, self._uplink_free_at)
-            transmit = message.wire_size / self.config.uplink_bandwidth
-            self._uplink_free_at = start + transmit
-            socket.send(message, extra_delay=(start + transmit) - self.sim.now)
-            self._note_relayed(message, start + transmit)
+            start = send_epoch if send_epoch > uplink_free_at else uplink_free_at
+            done = start + message.wire_size / uplink_bandwidth
+            uplink_free_at = done
+            socket.send(message, extra_delay=done - now)
+            self._note_relayed(message, done)
+        self._uplink_free_at = uplink_free_at
         # --- reschedule if work remains ---
         more = any(
-            peer.process_queue or peer.send_queue for peer in self.peers.values()
+            peer.process_queue or peer.send_queue for peer in peers.values()
         )
         if more:
             self._handler_scheduled = True
@@ -536,11 +549,12 @@ class BitcoinNode:
         peer.addr_messages_received += 1
         peer.addrs_received += len(message.addresses)
         now = self.sim.now
+        addrman_add = self.addrman.add
+        known_add = peer.known_addrs.add
+        source = peer.remote_addr
         for record in message.addresses:
-            self.addrman.add(
-                record.addr, now, source=peer.remote_addr, timestamp=record.timestamp
-            )
-            peer.known_addrs.add(record.addr)
+            addrman_add(record.addr, now, source, record.timestamp)
+            known_add(record.addr)
         # Unsolicited small announcements are forwarded (Core relays fresh
         # addrs to a couple of peers); large getaddr replies are not.
         if 0 < len(message.addresses) <= cfg.ADDR_FORWARD_MAX:

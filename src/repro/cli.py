@@ -35,7 +35,62 @@ from .netmodel import (
 from .units import DAYS, HOURS
 
 
+def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
+    base = LongitudinalConfig(
+        scale=args.scale, snapshots=args.snapshots, seed=args.seed
+    )
+    seeds = core.seed_range(args.seed, args.seeds)
+    print(
+        f"campaign sweep: scale={args.scale} snapshots={args.snapshots} "
+        f"seeds={seeds} workers={args.workers or 'auto'}"
+    )
+    sweep = core.run_campaign_sweep(base, seeds, workers=args.workers)
+    s = args.scale
+    mean = sweep.mean_over_seeds
+    print(
+        comparison_table(
+            [
+                ("unreachable / snapshot", cal.UNREACHABLE_PER_SNAPSHOT * s,
+                 mean(lambda r: float(np.mean(r.fig4_series()["per_snapshot"])))),
+                ("cumulative unreachable", cal.CUMULATIVE_UNREACHABLE * s,
+                 mean(lambda r: r.fig4_series()["cumulative"][-1])),
+                ("responsive / snapshot", cal.RESPONSIVE_PER_SNAPSHOT * s,
+                 mean(lambda r: float(np.mean(r.fig5_series()["per_snapshot"])))),
+                ("ADDR reachable share", cal.ADDR_REACHABLE_SHARE,
+                 mean(lambda r: r.mean_addr_reachable_share())),
+                ("daily departures", cal.DAILY_CHURN_NODES * s,
+                 mean(lambda r: r.churn_stats().mean_daily_departures(
+                     r.churn_matrix().snapshot_interval))),
+                ("mean lifetime (days)", cal.MEAN_NODE_LIFETIME_DAYS,
+                 mean(lambda r: r.churn_stats().mean_lifetime / DAYS)),
+            ],
+            title=f"Campaign, mean over {len(seeds)} seeds",
+        )
+    )
+    print(
+        format_table(
+            ("seed", "cumulative unreachable", "responsive/snapshot"),
+            [
+                (seed,
+                 len(result.cumulative_unreachable),
+                 round(float(np.mean(result.fig5_series()["per_snapshot"])), 1))
+                for seed, result in zip(sweep.seeds, sweep.per_seed)
+            ],
+        )
+    )
+    if args.export:
+        out = Path(args.export)
+        for seed, result in zip(sweep.seeds, sweep.per_seed):
+            export_mod.export_campaign_series(
+                result, out / f"seed{seed}" / "campaign_series.csv"
+            )
+        print(f"exported per-seed CSVs to {out}/seed<N>/")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.seeds > 1:
+        return _cmd_campaign_sweep(args)
     scenario = LongitudinalScenario(
         LongitudinalConfig(
             scale=args.scale, snapshots=args.snapshots, seed=args.seed
@@ -103,11 +158,22 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         duration=args.hours * HOURS,
         seed=args.seed,
     )
-    print(
-        f"sync: nodes={args.nodes} duration={args.hours}h — running 2019 "
-        f"and 2020 churn levels..."
-    )
-    results = core.run_2019_vs_2020(base)
+    if args.seeds > 1:
+        seeds = core.seed_range(args.seed, args.seeds)
+        print(
+            f"sync: nodes={args.nodes} duration={args.hours}h — running "
+            f"2019 and 2020 churn levels over seeds={seeds} "
+            f"(workers={args.workers or 'auto'})..."
+        )
+        results = core.run_2019_vs_2020_sweep(
+            base, seeds=seeds, workers=args.workers
+        )
+    else:
+        print(
+            f"sync: nodes={args.nodes} duration={args.hours}h — running 2019 "
+            f"and 2020 churn levels..."
+        )
+        results = core.run_2019_vs_2020(base)
     r2019, r2020 = results["2019"], results["2020"]
     print(
         comparison_table(
@@ -227,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--scale", type=float, default=0.01)
     campaign.add_argument("--snapshots", type=int, default=12)
     campaign.add_argument("--seed", type=int, default=42)
+    campaign.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="run N consecutive seeds (from --seed) and merge",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --seeds > 1 (default: CPU count)",
+    )
     campaign.add_argument("--export", type=str, default=None, metavar="DIR")
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -234,6 +308,14 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--nodes", type=int, default=60)
     sync.add_argument("--hours", type=float, default=2.0)
     sync.add_argument("--seed", type=int, default=21)
+    sync.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="run N consecutive seeds (from --seed) per churn level",
+    )
+    sync.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --seeds > 1 (default: CPU count)",
+    )
     sync.add_argument("--export", type=str, default=None, metavar="DIR")
     sync.set_defaults(func=_cmd_sync)
 

@@ -36,6 +36,15 @@ from .malicious_detect import (
     detect_flooders,
     merge_reports,
 )
+from .parallel import (
+    CampaignSweepResult,
+    SyncSweepResult,
+    run_2019_vs_2020_sweep,
+    run_campaign_sweep,
+    run_multi_seed,
+    run_sync_campaign_sweep,
+    seed_range,
+)
 from .pipeline import (
     CRAWLER_ADDR,
     CampaignConfig,
@@ -83,6 +92,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
+    "CampaignSweepResult",
     "ChurnMatrix",
     "ChurnStats",
     "CrawlInput",
@@ -110,6 +120,7 @@ __all__ = [
     "SyncDepartureStats",
     "SyncMonitor",
     "SyncSnapshot",
+    "SyncSweepResult",
     "TargetShift",
     "VerProber",
     "analyze",
@@ -130,11 +141,16 @@ __all__ = [
     "merge_reports",
     "plan_hijack",
     "run_2019_vs_2020",
+    "run_2019_vs_2020_sweep",
+    "run_campaign_sweep",
     "run_connection_stability",
     "run_connection_success",
+    "run_multi_seed",
     "run_relay_experiment",
     "run_resync_experiment",
     "run_sync_campaign",
+    "run_sync_campaign_sweep",
+    "seed_range",
     "series_preview",
     "summarize_attempt_durations",
     "synchronized_departures",

@@ -1,0 +1,205 @@
+"""Multi-seed campaign execution across worker processes.
+
+Every experiment in the reproduction is a deterministic function of its
+seed, which makes seed-level parallelism trivial to make *exactly*
+reproducible: fan the seeds out to a process pool, collect per-seed
+results **in seed order** (``Pool.map`` preserves input order no matter
+which worker finishes first), and merge.  The merged output is therefore
+bit-identical to running the same seeds sequentially — there is a test
+pinning that.
+
+Workers default to the machine's CPU count (capped by the number of
+seeds) and can be forced with ``workers=`` or the ``REPRO_WORKERS``
+environment variable; ``workers=1`` executes inline in this process with
+no multiprocessing machinery at all, which is also the fallback used
+when only one seed is requested.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, replace
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from ..analysis.kde import DensityEstimate, kde
+from ..netmodel.scenario import LongitudinalConfig, LongitudinalScenario
+from .pipeline import CampaignConfig, CampaignResult, CampaignRunner
+from .sync_experiments import (
+    SyncCampaignConfig,
+    SyncCampaignResult,
+    run_sync_campaign,
+)
+
+T = TypeVar("T")
+
+
+def default_workers(n_tasks: int) -> int:
+    """Worker count: ``REPRO_WORKERS`` if set, else CPUs, capped by tasks."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        return max(1, min(int(env), n_tasks))
+    return max(1, min(multiprocessing.cpu_count(), n_tasks))
+
+
+def seed_range(base_seed: int, count: int) -> List[int]:
+    """The consecutive seed list ``base_seed .. base_seed+count-1``."""
+    if count < 1:
+        raise ValueError(f"need at least one seed, got {count}")
+    return list(range(base_seed, base_seed + count))
+
+
+def run_multi_seed(
+    task: Callable[[int], T],
+    seeds: Sequence[int],
+    workers: Optional[int] = None,
+) -> List[T]:
+    """Run ``task(seed)`` for every seed; results in seed (input) order.
+
+    ``task`` must be picklable (a module-level function or a
+    ``functools.partial`` of one) when more than one worker is used.
+    """
+    seeds = list(seeds)
+    if workers is None:
+        workers = default_workers(len(seeds))
+    if workers <= 1 or len(seeds) <= 1:
+        return [task(seed) for seed in seeds]
+    with multiprocessing.Pool(processes=workers) as pool:
+        # map (not imap_unordered): output order == seed order, so the
+        # merged result cannot depend on worker scheduling.
+        return pool.map(task, seeds)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 synchronization campaigns
+# ---------------------------------------------------------------------------
+def _sync_worker(base: SyncCampaignConfig, seed: int) -> SyncCampaignResult:
+    return run_sync_campaign(replace(base, seed=seed))
+
+
+@dataclass
+class SyncSweepResult:
+    """Multi-seed synchronization campaign, merged in seed order."""
+
+    seeds: List[int]
+    per_seed: List[SyncCampaignResult]
+
+    @property
+    def sync_samples(self) -> List[float]:
+        """All samples, concatenated in seed order (deterministic merge)."""
+        merged: List[float] = []
+        for result in self.per_seed:
+            merged.extend(result.sync_samples)
+        return merged
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.sync_samples))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.sync_samples))
+
+    @property
+    def sync_departures_per_10min(self) -> float:
+        """Mean synchronized-departure rate across seeds."""
+        return float(
+            np.mean([r.sync_departures_per_10min for r in self.per_seed])
+        )
+
+    def density(self, **kwargs) -> DensityEstimate:
+        """KDE over the pooled samples (a seed-averaged Fig. 1 curve)."""
+        return kde(self.sync_samples, **kwargs)
+
+
+def run_sync_campaign_sweep(
+    base: Optional[SyncCampaignConfig] = None,
+    seeds: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
+) -> SyncSweepResult:
+    """Run the Fig. 1 campaign once per seed and merge deterministically."""
+    base = base if base is not None else SyncCampaignConfig()
+    seeds = list(seeds) if seeds is not None else seed_range(base.seed, 4)
+    results = run_multi_seed(partial(_sync_worker, base), seeds, workers)
+    return SyncSweepResult(seeds=seeds, per_seed=results)
+
+
+def run_2019_vs_2020_sweep(
+    base: Optional[SyncCampaignConfig] = None,
+    seeds: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
+    churn_2019: float = 5.0,
+    churn_2020: float = 14.0,
+) -> Dict[str, SyncSweepResult]:
+    """The Fig. 1 contrast with N seeds per churn level.
+
+    All ``2 x len(seeds)`` runs share one worker pool; results are
+    regrouped by label, each group ordered by seed.
+    """
+    base = base if base is not None else SyncCampaignConfig()
+    seeds = list(seeds) if seeds is not None else seed_range(base.seed, 4)
+    labels = (("2019", churn_2019), ("2020", churn_2020))
+    tasks: List[SyncCampaignConfig] = []
+    for _, churn in labels:
+        for seed in seeds:
+            tasks.append(replace(base, churn_per_10min=churn, seed=seed))
+    results = run_multi_seed(_run_sync_config, tasks, workers)
+    out: Dict[str, SyncSweepResult] = {}
+    for index, (label, _) in enumerate(labels):
+        chunk = results[index * len(seeds) : (index + 1) * len(seeds)]
+        out[label] = SyncSweepResult(seeds=list(seeds), per_seed=chunk)
+    return out
+
+
+def _run_sync_config(config: SyncCampaignConfig) -> SyncCampaignResult:
+    return run_sync_campaign(config)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 crawl campaigns
+# ---------------------------------------------------------------------------
+def _campaign_worker(
+    base: LongitudinalConfig,
+    config: Optional[CampaignConfig],
+    snapshots: Optional[int],
+    seed: int,
+) -> CampaignResult:
+    scenario = LongitudinalScenario(replace(base, seed=seed))
+    runner = CampaignRunner(scenario, config)
+    return runner.run(snapshots=snapshots)
+
+
+@dataclass
+class CampaignSweepResult:
+    """Multi-seed crawl campaign, merged in seed order."""
+
+    seeds: List[int]
+    per_seed: List[CampaignResult]
+
+    def mean_over_seeds(self, stat: Callable[[CampaignResult], float]) -> float:
+        """Average a per-campaign statistic across seeds."""
+        return float(np.mean([stat(result) for result in self.per_seed]))
+
+    def pooled_cumulative_unreachable(self) -> int:
+        """Unique unreachable addresses across every seed's campaign."""
+        seen = set()
+        for result in self.per_seed:
+            seen |= result.cumulative_unreachable
+        return len(seen)
+
+
+def run_campaign_sweep(
+    base: LongitudinalConfig,
+    seeds: Sequence[int],
+    config: Optional[CampaignConfig] = None,
+    snapshots: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> CampaignSweepResult:
+    """Run the Fig. 2 crawl campaign once per seed and merge."""
+    seeds = list(seeds)
+    task = partial(_campaign_worker, base, config, snapshots)
+    results = run_multi_seed(task, seeds, workers)
+    return CampaignSweepResult(seeds=seeds, per_seed=results)

@@ -76,6 +76,7 @@ class VerProber:
         self._pending: List[NetAddr] = []
         self._in_flight = 0
         self._result: Optional[ProbeCampaignResult] = None
+        self._buckets: Dict[ProbeResult, set] = {}
         self._on_done: Optional[Callable[[ProbeCampaignResult], None]] = None
         self.done = False
 
@@ -89,6 +90,14 @@ class VerProber:
             raise ScenarioError("a probe campaign is already in progress")
         self.done = False
         self._result = ProbeCampaignResult()
+        # Outcome -> result bucket, built once per campaign; _probed runs
+        # once per probe and must not rebuild this mapping every time.
+        self._buckets = {
+            ProbeResult.FIN: self._result.responsive,
+            ProbeResult.SILENT: self._result.silent,
+            ProbeResult.RST: self._result.rst,
+            ProbeResult.BITCOIN: self._result.bitcoin,
+        }
         self._on_done = on_done
         self._pending = list(targets)
         self._in_flight = 0
@@ -120,13 +129,7 @@ class VerProber:
             )
 
     def _probed(self, target: NetAddr, outcome: ProbeResult) -> None:
-        bucket = {
-            ProbeResult.FIN: self._result.responsive,
-            ProbeResult.SILENT: self._result.silent,
-            ProbeResult.RST: self._result.rst,
-            ProbeResult.BITCOIN: self._result.bitcoin,
-        }[outcome]
-        bucket.add(target)
+        self._buckets[outcome].add(target)
         self._in_flight -= 1
         self._fill()
         self._check_done()

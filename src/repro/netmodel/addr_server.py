@@ -114,5 +114,5 @@ class AddrServer:
         )
         now = self.sim.now
         response = [TimestampedAddr(self.addr, now)]
-        response.extend(TimestampedAddr(a, now) for a in sampled)
+        response += [TimestampedAddr(a, now) for a in sampled]
         return response[: self.response_max]

@@ -79,9 +79,13 @@ class PresenceTimeline:
         return list(self._intervals.get(addr, ()))
 
     def alive_at(self, addr: NetAddr, when: float) -> bool:
-        return any(
-            start <= when < end for start, end in self._intervals.get(addr, ())
-        )
+        # A plain loop, not any(<genexpr>): this predicate runs per address
+        # per snapshot across the whole population, and most addresses
+        # have one or two intervals — the generator frame would dominate.
+        for start, end in self._intervals.get(addr, ()):
+            if start <= when < end:
+                return True
+        return False
 
     def alive_set(self, addrs: Sequence[NetAddr], when: float) -> List[NetAddr]:
         return [addr for addr in addrs if self.alive_at(addr, when)]

@@ -243,17 +243,24 @@ class LongitudinalScenario:
         for flooder in self.flooders:
             flooder.start()
 
-        # NAT behaviour of the unreachable world at this instant.
+        # NAT behaviour of the unreachable world at this instant.  The
+        # alive addresses are batched into one mark_* call per pool; the
+        # iteration order (hence the mark_silent RNG draw order) is the
+        # population order, exactly as the per-record calls produced.
+        responsive_alive: List[NetAddr] = []
         for record in self.population.responsive:
             if self.responsive_timeline.alive_at(record.addr, when):
-                self.nat.mark_responsive([record.addr])
+                responsive_alive.append(record.addr)
             else:
                 self.nat.mark_offline(record.addr)
+        self.nat.mark_responsive(responsive_alive)
+        silent_alive: List[NetAddr] = []
         for record in self.population.silent:
             if self.silent_timeline.alive_at(record.addr, when):
-                self.nat.mark_silent([record.addr])
+                silent_alive.append(record.addr)
             else:
                 self.nat.mark_offline(record.addr)
+        self.nat.mark_silent(silent_alive)
         self._snapshot_index += 1
 
 

@@ -5,41 +5,51 @@ Addresses are IPv4-like ``(ip, port)`` pairs.  The ``ip`` is stored as a
 simulations hold hundreds of thousands of them (the paper observed ~694K
 unique unreachable addresses).
 
+Both record types are tuple subclasses rather than dataclasses: an
+address is hashed/compared millions of times per run (every dict/set of
+peers, addrman tables, latency cache), and a tuple gets C-level
+``__hash__``/``__eq__``/field access.  The hash VALUE is identical to
+the frozen-dataclass ``hash((ip, port))`` these classes replaced —
+set/dict iteration order feeds deterministic figure outputs, so the
+representation change is observable only as speed.
+
 ``group16`` reproduces Bitcoin Core's notion of a *netgroup* (the /16
 prefix), which drives addrman bucketing and outbound-diversity rules.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import namedtuple
+from typing import NamedTuple
 
 #: Bitcoin's default P2P port; 95.78% of reachable nodes in the paper's
 #: measurement used it.
 DEFAULT_PORT = 8333
 
+_tuple_new = tuple.__new__
 
-@dataclass(frozen=True, order=True)
-class NetAddr:
+
+class NetAddr(namedtuple("_NetAddrBase", ("ip", "port"))):
     """An (ip, port) endpoint in the simulated network."""
 
-    ip: int
-    port: int = DEFAULT_PORT
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if not 0 <= self.ip <= 0xFFFFFFFF:
-            raise ValueError(f"ip must fit in 32 bits, got {self.ip}")
-        if not 0 < self.port <= 0xFFFF:
-            raise ValueError(f"port must be in 1..65535, got {self.port}")
+    def __new__(cls, ip: int, port: int = DEFAULT_PORT) -> "NetAddr":
+        if not 0 <= ip <= 0xFFFFFFFF:
+            raise ValueError(f"ip must fit in 32 bits, got {ip}")
+        if not 0 < port <= 0xFFFF:
+            raise ValueError(f"port must be in 1..65535, got {port}")
+        return _tuple_new(cls, (ip, port))
 
     @property
     def group16(self) -> int:
         """The /16 netgroup of the address (upper 16 bits of the IP)."""
-        return self.ip >> 16
+        return self[0] >> 16
 
     @property
     def dotted(self) -> str:
         """Dotted-quad rendering of the IP."""
-        ip = self.ip
+        ip = self[0]
         return f"{ip >> 24 & 0xFF}.{ip >> 16 & 0xFF}.{ip >> 8 & 0xFF}.{ip & 0xFF}"
 
     @classmethod
@@ -66,8 +76,7 @@ class NetAddr:
         return f"{self.dotted}:{self.port}"
 
 
-@dataclass(frozen=True)
-class TimestampedAddr:
+class TimestampedAddr(NamedTuple):
     """An address plus the freshness timestamp carried in ADDR messages.
 
     Bitcoin nodes gossip ``(address, last-seen-time)`` pairs; the timestamp

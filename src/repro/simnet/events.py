@@ -1,23 +1,49 @@
 """Event scheduling for the discrete-event simulator.
 
-The scheduler keeps a binary heap of pending events ordered by
-``(time, sequence)``.  The sequence number makes ordering deterministic for
-events scheduled at the same instant: they fire in scheduling order, which
-keeps whole simulations reproducible from a seed.
+Two scheduler backends share one contract — events fire in strict
+``(time, sequence)`` order, which makes whole simulations reproducible
+from a seed:
 
-Cancellation is *lazy*: a cancelled event stays in the heap but is skipped
-when popped.  This keeps ``cancel`` O(1), which matters because protocol
-timers (handshake timeouts, pings) are cancelled far more often than they
-fire.
+* :class:`Scheduler` (the default) is a *near-wheel / far-heap hybrid*
+  tuned for the protocol workload: short-lived timers (handshake
+  timeouts, pings, trickle timers) land in a timer wheel of small
+  per-slot heaps, everything beyond the wheel horizon goes to a single
+  binary heap.  All heap entries are ``(when, seq, handle)`` tuples so
+  comparisons run in C instead of calling ``EventHandle.__lt__``.
+* :class:`HeapScheduler` is the original single-binary-heap engine,
+  kept as the reference implementation; the determinism test suite
+  cross-validates the two backends against each other.
+
+Cancellation is *lazy* in both backends: a cancelled event stays where
+it is and is skipped when it reaches the head of its heap.  This keeps
+``cancel`` O(1), which matters because protocol timers are cancelled far
+more often than they fire.  The hybrid scheduler additionally compacts
+its structures when dead entries outnumber live ones, so a cancel-heavy
+workload cannot grow the heaps without bound, and both backends maintain
+a live-event counter so :attr:`pending` reports live events only (the
+raw heap size stays available as :attr:`pending_raw`).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .clock import SimClock
+
+_INF = float("inf")
+
+#: Wheel geometry defaults: 1024 slots of 50 ms cover a 51.2 s horizon,
+#: spanning the connect timeout (5 s), trickle timers (~5 s) and message
+#: deliveries (tens of ms); pings and connection lifetimes go to the far
+#: heap.
+DEFAULT_WHEEL_SLOTS = 1024
+DEFAULT_WHEEL_GRANULARITY = 0.05
+
+#: Compact once at least this many cancelled entries are stored *and*
+#: they outnumber the live ones.
+DEFAULT_COMPACT_MIN = 64
 
 
 class EventHandle:
@@ -26,7 +52,7 @@ class EventHandle:
     Hold on to the handle to :meth:`cancel` the event before it fires.
     """
 
-    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "_sched")
 
     def __init__(
         self,
@@ -40,14 +66,32 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning scheduler while the event is stored there; cleared on
+        #: dispatch so a late ``cancel`` cannot corrupt the live counter.
+        self._sched: Optional["_SchedulerBase"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references early so cancelled timers do not pin objects
         # (connections, nodes) in memory until they drain from the heap.
         self.callback = _noop
         self.args = ()
+        sched = self._sched
+        if sched is not None:
+            # Counter bookkeeping inlined: cancel is one of the hottest
+            # engine entry points (timers are cancelled far more often
+            # than they fire).
+            self._sched = None
+            sched._live -= 1
+            sched.cancelled_total += 1
+            dead = sched._dead + 1
+            sched._dead = dead
+            threshold = sched._compact_min
+            if threshold is not None and dead >= threshold and dead > sched._live:
+                sched._compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -61,24 +105,378 @@ def _noop(*_args: Any) -> None:
     """Placeholder callback installed on cancellation."""
 
 
-class Scheduler:
-    """Deterministic event heap driving a :class:`SimClock`."""
+class _SchedulerBase:
+    """Counter bookkeeping shared by both scheduler backends."""
 
-    def __init__(self, clock: SimClock) -> None:
-        self._clock = clock
-        self._heap: List[EventHandle] = []
-        self._seq = 0
-        self._fired = 0
+    _clock: SimClock
+    _live: int
+    _dead: int
+    _fired: int
+    _compact_min: Optional[int]
 
-    @property
-    def pending(self) -> int:
-        """Number of events in the heap, including lazily cancelled ones."""
-        return len(self._heap)
+    #: Optional :class:`repro.perf.PerfRecorder`; when ``None`` the
+    #: dispatch loops take the uninstrumented fast path.
+    perf = None
 
     @property
     def fired(self) -> int:
         """Total number of events executed so far."""
         return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled, not yet fired) events."""
+        return self._live
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still occupying the heaps."""
+        return self._dead
+
+    def _compact(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Generic conveniences expressed via the backend's fused loop
+    # ------------------------------------------------------------------
+    def run_next(self) -> bool:
+        """Pop and execute the earliest event.
+
+        Returns ``True`` if an event was executed, ``False`` if no live
+        event remains.
+        """
+        return self.run_until(_INF, 1)[0] > 0
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending (non-cancelled) event, or ``None``."""
+        entry = self._next_entry()
+        return entry[0] if entry is not None else None
+
+    def _next_entry(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Scheduler(_SchedulerBase):
+    """Deterministic near-wheel / far-heap hybrid driving a :class:`SimClock`.
+
+    Events within ``slots`` wheel slots of *now* are bucketed by
+    ``int(when / granularity)`` into per-slot mini-heaps; later events go
+    to the far heap.  The absolute slot numbers occupied by wheel entries
+    always span less than one wheel revolution (inserts beyond that go to
+    the far heap and ``when >= now`` is enforced), so a slot index never
+    mixes two revolutions and a forward scan from the slot containing
+    *now* visits pending events in slot order.  Within a slot — and
+    between the wheel and the far heap — ``(when, seq)`` tuples decide,
+    so the dispatch order is bit-for-bit the order the single-heap
+    backend produces.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        *,
+        slots: int = DEFAULT_WHEEL_SLOTS,
+        granularity: float = DEFAULT_WHEEL_GRANULARITY,
+        compact_min: Optional[int] = DEFAULT_COMPACT_MIN,
+    ) -> None:
+        if slots < 2:
+            raise SimulationError(f"wheel needs at least 2 slots, got {slots}")
+        if granularity <= 0:
+            raise SimulationError(
+                f"granularity must be positive, got {granularity}"
+            )
+        self._clock = clock
+        self._slots = slots
+        self._granularity = granularity
+        self._inv_granularity = 1.0 / granularity
+        self._wheel: List[List[tuple]] = [[] for _ in range(slots)]
+        self._wheel_size = 0
+        self._far: List[tuple] = []
+        #: Absolute slot number the next wheel scan resumes from; pulled
+        #: back whenever an insert lands behind it.
+        self._cursor = 0
+        self._seq = 0
+        self._fired = 0
+        self._live = 0
+        self._dead = 0
+        self._compact_min = compact_min
+        # Whole-run accounting (always on; one integer add per op).
+        self.scheduled_total = 0
+        self.cancelled_total = 0
+        self.compactions = 0
+
+    @property
+    def pending_raw(self) -> int:
+        """Stored entries including lazily cancelled ones (heap size)."""
+        return self._wheel_size + len(self._far)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, when: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+        now = self._clock._now
+        if when < now:
+            raise SimulationError(
+                f"cannot schedule event at {when:.3f}, now is {now:.3f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(when, seq, callback, args)
+        handle._sched = self
+        inv_g = self._inv_granularity
+        slot_abs = int(when * inv_g)
+        if slot_abs - int(now * inv_g) < self._slots:
+            heapq.heappush(
+                self._wheel[slot_abs % self._slots], (when, seq, handle)
+            )
+            self._wheel_size += 1
+            if slot_abs < self._cursor:
+                self._cursor = slot_abs
+        else:
+            heapq.heappush(self._far, (when, seq, handle))
+        self._live += 1
+        self.scheduled_total += 1
+        return handle
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now.
+
+        Body duplicates :meth:`schedule_at` rather than delegating: this
+        is the single busiest engine entry point, and ``delay >= 0``
+        already guarantees the event is not in the past.
+        """
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        now = self._clock._now
+        when = now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(when, seq, callback, args)
+        handle._sched = self
+        inv_g = self._inv_granularity
+        slot_abs = int(when * inv_g)
+        if slot_abs - int(now * inv_g) < self._slots:
+            heapq.heappush(
+                self._wheel[slot_abs % self._slots], (when, seq, handle)
+            )
+            self._wheel_size += 1
+            if slot_abs < self._cursor:
+                self._cursor = slot_abs
+        else:
+            heapq.heappush(self._far, (when, seq, handle))
+        self._live += 1
+        self.scheduled_total += 1
+        return handle
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run_until(
+        self, when: float, max_events: Optional[int] = None
+    ) -> Tuple[int, bool]:
+        """Fused dispatch loop: fire every live event with time <= ``when``.
+
+        Returns ``(dispatched, truncated)`` where ``truncated`` is True
+        iff the loop stopped because ``max_events`` was reached.  The
+        clock is advanced to each event's time but is *not* moved to
+        ``when`` afterwards — that is the Simulator's job, because only
+        the caller knows whether landing the clock there is meaningful.
+        """
+        if self.perf is not None:
+            return self._run_until_instrumented(when, max_events)
+        clock = self._clock
+        far = self._far  # stable: compaction rewrites it in place
+        wheel = self._wheel
+        n = self._slots
+        inv_g = self._inv_granularity
+        heappop = heapq.heappop
+        cap = -1 if max_events is None else max_events
+        dispatched = 0
+        while dispatched != cap:
+            # --- locate the earliest live entry, cleaning dead heads ---
+            while far and far[0][2].cancelled:
+                heappop(far)
+                self._dead -= 1
+            entry = None
+            slot = None
+            if self._wheel_size:
+                cursor = self._cursor
+                base = int(clock._now * inv_g)
+                if cursor < base:
+                    cursor = base
+                limit = cursor + n
+                while cursor <= limit:
+                    s = wheel[cursor % n]
+                    while s and s[0][2].cancelled:
+                        heappop(s)
+                        self._dead -= 1
+                        self._wheel_size -= 1
+                    if s:
+                        entry = s[0]
+                        slot = s
+                        break
+                    if not self._wheel_size:
+                        break
+                    cursor += 1
+                else:  # pragma: no cover - counter corruption guard
+                    raise SimulationError(
+                        "timer wheel scan overran one revolution"
+                    )
+                self._cursor = cursor
+            if far and (entry is None or far[0] < entry):
+                entry = far[0]
+                slot = None
+            if entry is None:
+                break
+            event_time = entry[0]
+            if event_time > when:
+                break
+            # --- pop and dispatch ---
+            if slot is None:
+                heappop(far)
+            else:
+                heappop(slot)
+                self._wheel_size -= 1
+            handle = entry[2]
+            # Heap order guarantees monotone event times, so write the
+            # clock directly instead of re-validating per event.
+            clock._now = event_time
+            handle._sched = None
+            self._fired += 1
+            self._live -= 1
+            handle.callback(*handle.args)
+            dispatched += 1
+        else:
+            return dispatched, True
+        return dispatched, False
+
+    def _run_until_instrumented(
+        self, when: float, max_events: Optional[int]
+    ) -> Tuple[int, bool]:
+        """Slow-path twin of :meth:`run_until` feeding :attr:`perf`."""
+        perf = self.perf
+        clock = self._clock
+        cap = -1 if max_events is None else max_events
+        dispatched = 0
+        while dispatched != cap:
+            entry = self._next_entry()
+            if entry is None or entry[0] > when:
+                break
+            self._pop_entry(entry)
+            handle = entry[2]
+            clock._now = entry[0]
+            handle._sched = None
+            self._fired += 1
+            self._live -= 1
+            perf.dispatch(handle.callback, handle.args, self.pending_raw)
+            dispatched += 1
+        else:
+            return dispatched, True
+        return dispatched, False
+
+    # ------------------------------------------------------------------
+    # Peek / pop helpers (introspection and the instrumented path)
+    # ------------------------------------------------------------------
+    def _next_entry(self) -> Optional[tuple]:
+        far = self._far
+        heappop = heapq.heappop
+        while far and far[0][2].cancelled:
+            heappop(far)
+            self._dead -= 1
+        entry = None
+        if self._wheel_size:
+            wheel = self._wheel
+            n = self._slots
+            cursor = self._cursor
+            base = int(self._clock._now * self._inv_granularity)
+            if cursor < base:
+                cursor = base
+            limit = cursor + n
+            while cursor <= limit:
+                s = wheel[cursor % n]
+                while s and s[0][2].cancelled:
+                    heappop(s)
+                    self._dead -= 1
+                    self._wheel_size -= 1
+                if s:
+                    entry = s[0]
+                    break
+                if not self._wheel_size:
+                    break
+                cursor += 1
+            else:  # pragma: no cover - counter corruption guard
+                raise SimulationError("timer wheel scan overran one revolution")
+            self._cursor = cursor
+        if far and (entry is None or far[0] < entry):
+            return far[0]
+        return entry
+
+    def _pop_entry(self, entry: tuple) -> None:
+        """Remove ``entry`` — must be the tuple `_next_entry` returned."""
+        far = self._far
+        if far and far[0] is entry:
+            heapq.heappop(far)
+        else:
+            heapq.heappop(self._wheel[self._cursor % self._slots])
+            self._wheel_size -= 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop stored cancelled entries, rebuilding the heaps in place."""
+        far = self._far
+        live_far = [e for e in far if not e[2].cancelled]
+        if len(live_far) != len(far):
+            far[:] = live_far
+            heapq.heapify(far)
+        wheel_size = 0
+        for slot in self._wheel:
+            if not slot:
+                continue
+            live = [e for e in slot if not e[2].cancelled]
+            if len(live) != len(slot):
+                slot[:] = live
+                heapq.heapify(slot)
+            wheel_size += len(slot)
+        self._wheel_size = wheel_size
+        self._dead = 0
+        self.compactions += 1
+
+
+class HeapScheduler(_SchedulerBase):
+    """The original single-binary-heap engine (reference backend).
+
+    Kept verbatim in behaviour: one heap of :class:`EventHandle` objects
+    ordered by ``__lt__``, lazy cancellation, head-dropping on peek/pop.
+    The determinism suite asserts its dispatch order matches the hybrid
+    :class:`Scheduler` event for event.  Compaction is off by default to
+    stay faithful to the seed engine; pass ``compact_min`` to enable it.
+    """
+
+    def __init__(
+        self, clock: SimClock, *, compact_min: Optional[int] = None
+    ) -> None:
+        self._clock = clock
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._fired = 0
+        self._live = 0
+        self._dead = 0
+        self._compact_min = compact_min
+        self.scheduled_total = 0
+        self.cancelled_total = 0
+        self.compactions = 0
+
+    @property
+    def pending_raw(self) -> int:
+        """Stored entries including lazily cancelled ones (heap size)."""
+        return len(self._heap)
 
     def schedule_at(
         self, when: float, callback: Callable[..., Any], *args: Any
@@ -90,8 +488,11 @@ class Scheduler:
                 f"{self._clock.now:.3f}"
             )
         handle = EventHandle(when, self._seq, callback, args)
+        handle._sched = self
         self._seq += 1
         heapq.heappush(self._heap, handle)
+        self._live += 1
+        self.scheduled_total += 1
         return handle
 
     def schedule(
@@ -102,26 +503,66 @@ class Scheduler:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.schedule_at(self._clock.now + delay, callback, *args)
 
+    def run_until(
+        self, when: float, max_events: Optional[int] = None
+    ) -> Tuple[int, bool]:
+        """Seed-style loop: peek the head, then pop-and-dispatch it."""
+        clock = self._clock
+        cap = -1 if max_events is None else max_events
+        dispatched = 0
+        while dispatched != cap:
+            self._drop_cancelled_head()
+            heap = self._heap
+            if not heap or heap[0].when > when:
+                break
+            event = heapq.heappop(heap)
+            clock.advance_to(event.when)
+            event._sched = None
+            self._fired += 1
+            self._live -= 1
+            if self.perf is not None:
+                self.perf.dispatch(event.callback, event.args, len(heap))
+            else:
+                event.callback(*event.args)
+            dispatched += 1
+        else:
+            return dispatched, True
+        return dispatched, False
+
+    def run_next(self) -> bool:
+        """Pop and execute the earliest event (seed-faithful hot path)."""
+        self._drop_cancelled_head()
+        heap = self._heap
+        if not heap:
+            return False
+        event = heapq.heappop(heap)
+        self._clock.advance_to(event.when)
+        event._sched = None
+        self._fired += 1
+        self._live -= 1
+        event.callback(*event.args)
+        return True
+
     def next_event_time(self) -> Optional[float]:
         """Time of the earliest pending (non-cancelled) event, or ``None``."""
         self._drop_cancelled_head()
         return self._heap[0].when if self._heap else None
 
-    def run_next(self) -> bool:
-        """Pop and execute the earliest event.
-
-        Returns ``True`` if an event was executed, ``False`` if the heap is
-        empty (after discarding cancelled events).
-        """
+    def _next_entry(self) -> Optional[tuple]:
         self._drop_cancelled_head()
         if not self._heap:
-            return False
-        event = heapq.heappop(self._heap)
-        self._clock.advance_to(event.when)
-        self._fired += 1
-        event.callback(*event.args)
-        return True
+            return None
+        head = self._heap[0]
+        return (head.when, head.seq, head)
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self.compactions += 1

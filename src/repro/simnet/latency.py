@@ -81,7 +81,10 @@ class LatencyModel:
     def sample(self, a: NetAddr, b: NetAddr) -> float:
         """One-way latency for a single packet from ``a`` to ``b``."""
         base = self.base_latency(a, b)
-        if self.config.jitter == 0:
+        jitter = self.config.jitter
+        if jitter == 0:
             return base
-        factor = 1.0 + self._rng.uniform(-self.config.jitter, self.config.jitter)
-        return base * factor
+        # The uniform() call is load-bearing: it is THE jitter draw in the
+        # per-seed RNG stream, so replacing it with a different sampling
+        # expression would shift every downstream arrival time.
+        return base * (1.0 + self._rng.uniform(-jitter, jitter))

@@ -5,18 +5,63 @@ random streams, and the simulated network transport.  Everything else in
 the library (Bitcoin nodes, churn processes, crawlers) is built on this
 object and advances only when :meth:`run_until` / :meth:`run` dispatch
 events.
+
+Engine selection: the default scheduler is the near-wheel/far-heap
+hybrid (:class:`~repro.simnet.events.Scheduler`); pass ``engine="heap"``
+or set ``REPRO_ENGINE=heap`` to run on the reference single-heap backend
+(:class:`~repro.simnet.events.HeapScheduler`).  Both dispatch events in
+identical ``(time, seq)`` order, so results are bit-for-bit the same.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import SimulationError
+from ..perf import PerfRecorder, perf_enabled_by_env
 from .clock import SimClock
-from .events import EventHandle, Scheduler
+from .events import EventHandle, HeapScheduler, Scheduler
 from .latency import LatencyConfig, LatencyModel
 from .rand import RandomStreams
 from .transport import Network
+
+_INF = float("inf")
+
+
+class RunResult(int):
+    """Events-dispatched count that also says *why* the run stopped.
+
+    Behaves as a plain ``int`` (the number of dispatched events) so
+    existing callers keep working, and carries :attr:`truncated` so new
+    callers can distinguish "the world quiesced up to the target time"
+    from "the event cap cut the run short and the clock is stale".
+    """
+
+    truncated: bool
+
+    def __new__(cls, dispatched: int, truncated: bool) -> "RunResult":
+        obj = super().__new__(cls, dispatched)
+        obj.truncated = truncated
+        return obj
+
+    @property
+    def dispatched(self) -> int:
+        """The number of events dispatched (same as ``int(self)``)."""
+        return int(self)
+
+    def __repr__(self) -> str:
+        return f"RunResult(dispatched={int(self)}, truncated={self.truncated})"
+
+
+def _make_scheduler(engine: Optional[str], clock: SimClock):
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "wheel")
+    if engine == "wheel":
+        return Scheduler(clock)
+    if engine == "heap":
+        return HeapScheduler(clock)
+    raise SimulationError(f"unknown engine {engine!r} (want 'wheel' or 'heap')")
 
 
 class Simulator:
@@ -27,10 +72,17 @@ class Simulator:
         seed: int = 0,
         latency_config: Optional[LatencyConfig] = None,
         connect_timeout: float = 5.0,
+        engine: Optional[str] = None,
+        perf: bool = False,
     ) -> None:
         self.seed = int(seed)
         self.clock = SimClock()
-        self.scheduler = Scheduler(self.clock)
+        self.scheduler = _make_scheduler(engine, self.clock)
+        #: Optional engine instrumentation (``perf=True`` or REPRO_PERF=1).
+        self.perf: Optional[PerfRecorder] = None
+        if perf or perf_enabled_by_env():
+            self.perf = PerfRecorder()
+            self.scheduler.perf = self.perf
         self.random = RandomStreams(self.seed)
         latency = LatencyModel(
             latency_config if latency_config is not None else LatencyConfig(),
@@ -42,6 +94,10 @@ class Simulator:
         )
         #: Named components registered for introspection (nodes, services).
         self.components: Dict[str, Any] = {}
+        # Fast-path aliases: shadow the class methods with the scheduler's
+        # bound methods so the two busiest calls skip a wrapper frame.
+        self.schedule = self.scheduler.schedule
+        self.schedule_at = self.scheduler.schedule_at
 
     # ------------------------------------------------------------------
     # Time
@@ -76,48 +132,55 @@ class Simulator:
         """Dispatch the single earliest event.  False if none pending."""
         return self.scheduler.run_next()
 
-    def run_until(self, when: float, max_events: Optional[int] = None) -> int:
+    def run_until(self, when: float, max_events: Optional[int] = None) -> RunResult:
         """Dispatch events until the clock reaches ``when``.
 
-        Returns the number of events dispatched.  The clock always ends at
-        exactly ``when`` even if the heap drains early, so periodic
-        measurement code can rely on the final time.
+        Returns a :class:`RunResult` — the number of events dispatched,
+        with ``.truncated`` set when ``max_events`` stopped the run
+        early.  Unless truncated, the clock always ends at exactly
+        ``when`` even if the heap drains first, so periodic measurement
+        code can rely on the final time; a truncated run leaves the
+        clock at the last dispatched event because advancing it past
+        undispatched events would corrupt time ordering.
         """
         if when < self.clock.now:
             raise SimulationError(
                 f"run_until({when}) but clock is already at {self.clock.now}"
             )
-        dispatched = 0
-        hit_event_cap = False
-        while True:
-            if max_events is not None and dispatched >= max_events:
-                hit_event_cap = True
-                break
-            next_time = self.scheduler.next_event_time()
-            if next_time is None or next_time > when:
-                break
-            self.scheduler.run_next()
-            dispatched += 1
-        # Only land the clock on `when` if every due event was dispatched;
-        # advancing past undispatched events would corrupt time ordering.
-        if not hit_event_cap:
+        if self.perf is not None:
+            self.perf.start()
+        dispatched, truncated = self.scheduler.run_until(when, max_events)
+        if self.perf is not None:
+            self.perf.stop()
+        if not truncated:
             self.clock.advance_to(when)
-        return dispatched
+        return RunResult(dispatched, truncated)
 
-    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> RunResult:
         """Dispatch events for ``duration`` seconds of simulated time."""
         return self.run_until(self.clock.now + duration, max_events=max_events)
 
     def run(self, max_events: int = 10_000_000) -> int:
         """Dispatch events until the heap is empty (bounded by max_events)."""
-        dispatched = 0
-        while dispatched < max_events and self.scheduler.run_next():
-            dispatched += 1
-        if dispatched >= max_events:
+        if self.perf is not None:
+            self.perf.start()
+        dispatched, truncated = self.scheduler.run_until(_INF, max_events)
+        if self.perf is not None:
+            self.perf.stop()
+        if truncated:
             raise SimulationError(
                 f"simulation did not quiesce within {max_events} events"
             )
         return dispatched
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def perf_report(self) -> Optional[Dict[str, Any]]:
+        """The perf metrics dict, or ``None`` when instrumentation is off."""
+        if self.perf is None:
+            return None
+        return self.perf.report(self.scheduler)
 
     # ------------------------------------------------------------------
     # Component registry

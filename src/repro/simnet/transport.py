@@ -160,6 +160,11 @@ class Network:
         self.connects_timed_out = 0
         self.messages_delivered = 0
         self.probes_sent = 0
+        # Pre-bound hot-path callables: _deliver runs once per message, so
+        # it must not re-create the bound method / re-walk the attribute
+        # chain on every send.
+        self._schedule_at = scheduler.schedule_at
+        self._arrive_cb = self._arrive
 
     # ------------------------------------------------------------------
     # Listeners
@@ -286,13 +291,14 @@ class Network:
         if peer is None:
             raise TransportError("socket has no peer")
         delay = self.latency.sample(sender.local_addr, sender.remote_addr)
-        arrive_at = self._clock.now + delay + extra_delay
+        arrive_at = self._clock._now + delay + extra_delay
         # TCP delivers in order per direction: jitter must not let a later
         # send overtake an earlier one (a VERACK arriving before its
         # VERSION would wedge the handshake).
-        arrive_at = max(arrive_at, peer.last_arrival_at)
+        if arrive_at < peer.last_arrival_at:
+            arrive_at = peer.last_arrival_at
         peer.last_arrival_at = arrive_at
-        self._scheduler.schedule_at(arrive_at, self._arrive, peer, message)
+        self._schedule_at(arrive_at, self._arrive_cb, peer, message)
 
     def _arrive(self, receiver: Socket, message: Any) -> None:
         if not receiver.open:

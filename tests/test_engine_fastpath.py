@@ -1,0 +1,367 @@
+"""Engine fast-path tests: wheel-vs-heap determinism, live counters,
+truncated runs, compaction, periodic-task edges, and the perf recorder.
+
+The hybrid wheel scheduler must be *observationally identical* to the
+reference single-heap backend — same events, same order, same clock
+positions — so most tests here run the same program against both and
+compare traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simnet import Simulator
+from repro.simnet.clock import SimClock
+from repro.simnet.events import HeapScheduler, Scheduler
+
+ENGINES = ("wheel", "heap")
+
+
+def make_scheduler(kind: str, **kwargs):
+    clock = SimClock()
+    if kind == "wheel":
+        return Scheduler(clock, **kwargs)
+    return HeapScheduler(clock, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend determinism (property-based)
+# ---------------------------------------------------------------------------
+#: One program step: (op, value) interpreted by ``run_program``.
+_ops = st.one_of(
+    st.tuples(st.just("schedule"), st.floats(0.0, 120.0, allow_nan=False)),
+    st.tuples(st.just("cancel"), st.integers(0, 10_000)),
+    st.tuples(st.just("run_for"), st.floats(0.0, 30.0, allow_nan=False)),
+    st.tuples(st.just("run_events"), st.integers(0, 8)),
+)
+
+
+def run_program(scheduler, program):
+    """Interpret a (op, value) list; return the dispatch trace."""
+    trace = []
+    handles = []
+
+    def fire(tag):
+        trace.append((round(scheduler._clock.now, 9), tag))
+        # Half the firings schedule a follow-up so the program exercises
+        # scheduling from inside callbacks at both backends; the odd tag
+        # keeps follow-ups from chaining forever.
+        if tag % 2 == 0:
+            handles.append(scheduler.schedule(0.75, fire, tag + 100_001))
+
+    for op, value in program:
+        if op == "schedule":
+            handles.append(scheduler.schedule(value, fire, len(handles)))
+        elif op == "cancel":
+            if handles:
+                handles[value % len(handles)].cancel()
+        elif op == "run_for":
+            scheduler.run_until(scheduler._clock.now + value)
+        elif op == "run_events":
+            scheduler.run_until(float("inf"), value)
+    # Drain whatever remains so the full order is compared.
+    scheduler.run_until(float("inf"), 100_000)
+    return trace
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_ops, min_size=1, max_size=40))
+def test_wheel_matches_heap_dispatch_order(program):
+    wheel = make_scheduler("wheel")
+    heap = make_scheduler("heap")
+    assert run_program(wheel, program) == run_program(heap, program)
+    assert wheel.fired == heap.fired
+    assert wheel.pending == heap.pending == 0
+    assert wheel._clock.now == heap._clock.now
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(_ops, min_size=1, max_size=40),
+    st.integers(2, 16),
+    st.floats(0.01, 2.0, allow_nan=False),
+)
+def test_wheel_geometry_does_not_change_order(program, slots, granularity):
+    """Any wheel sizing must produce the reference order (entries merely
+    move between the wheel and the far heap)."""
+    tiny = make_scheduler("wheel", slots=slots, granularity=granularity)
+    heap = make_scheduler("heap")
+    assert run_program(tiny, program) == run_program(heap, program)
+
+
+def test_far_horizon_events_cross_into_wheel():
+    """An event scheduled beyond the horizon fires at the right time
+    after the clock moves close enough for wheel-resident events to
+    interleave with it."""
+    fired = []
+    for kind in ENGINES:
+        sched = make_scheduler(kind)
+        trace = []
+        horizon = 1024 * 0.05  # default wheel span: 51.2 s
+        sched.schedule(horizon * 3, trace.append, "far")
+        sched.schedule(horizon * 3 - 0.01, trace.append, "near-far")
+        sched.schedule(1.0, trace.append, "near")
+        sched.run_until(float("inf"))
+        fired.append(trace)
+    assert fired[0] == fired[1] == ["near", "near-far", "far"]
+
+
+# ---------------------------------------------------------------------------
+# Live counters: pending vs pending_raw
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ENGINES)
+def test_pending_excludes_cancelled(kind):
+    sched = make_scheduler(kind)
+    handles = [sched.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sched.pending == sched.pending_raw == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert sched.pending == 6
+    # Lazy cancellation: the raw count still includes stored corpses.
+    assert sched.pending_raw >= sched.pending
+    assert sched.cancelled_pending == sched.pending_raw - sched.pending
+
+    sched.run_until(float("inf"))
+    assert sched.pending == sched.pending_raw == 0
+    assert sched.fired == 6
+
+
+@pytest.mark.parametrize("kind", ENGINES)
+def test_cancel_is_idempotent_for_counters(kind):
+    sched = make_scheduler(kind)
+    handle = sched.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sched.pending == 0
+    assert sched.cancelled_total == 1
+
+
+@pytest.mark.parametrize("kind", ENGINES)
+def test_cancel_after_fire_does_not_corrupt_counters(kind):
+    sched = make_scheduler(kind)
+    handle = sched.schedule(1.0, lambda: None)
+    sched.run_until(float("inf"))
+    assert sched.pending == 0
+    handle.cancel()  # late cancel of an already-fired event
+    assert sched.pending == 0
+    assert sched.cancelled_total == 0
+
+
+def test_simulator_repr_reports_live_pending():
+    sim = Simulator(seed=1)
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    for handle in handles[:3]:
+        handle.cancel()
+    assert "pending=2" in repr(sim)
+
+
+# ---------------------------------------------------------------------------
+# Compaction
+# ---------------------------------------------------------------------------
+def test_wheel_compacts_when_dead_entries_dominate():
+    sched = make_scheduler("wheel", compact_min=64)
+    handles = [sched.schedule(5.0, lambda: None) for _ in range(200)]
+    for handle in handles[:150]:
+        handle.cancel()
+    assert sched.compactions >= 1
+    # Compaction reclaimed storage; only post-compaction corpses (fewer
+    # than the threshold, since the dead counter resets) may linger.
+    assert sched.pending == 50
+    assert sched.pending_raw < 200
+    assert sched.cancelled_pending == sched.pending_raw - sched.pending < 64
+    sched.run_until(float("inf"))
+    assert sched.fired == 50
+
+
+def test_compaction_preserves_dispatch_order():
+    compacting = make_scheduler("wheel", compact_min=8)
+    reference = make_scheduler("heap")
+    program = []
+    for i in range(100):
+        program.append(("schedule", (i * 37 % 50) / 3.0))
+        # Cancel aggressively so dead entries outnumber live ones and
+        # the threshold (8) trips repeatedly mid-program.
+        program.append(("cancel", i * 13))
+        program.append(("cancel", i * 7 + 3))
+        if i % 19 == 0:
+            program.append(("run_events", 2))
+    assert run_program(compacting, program) == run_program(reference, program)
+    assert compacting.compactions >= 1
+
+
+def test_heap_compaction_is_opt_in():
+    plain = make_scheduler("heap")
+    handles = [plain.schedule(1.0, lambda: None) for _ in range(300)]
+    for handle in handles:
+        handle.cancel()
+    assert plain.compactions == 0
+    assert plain.pending_raw == 300  # corpses linger (seed-faithful laziness)
+
+    compacting = make_scheduler("heap", compact_min=64)
+    handles = [compacting.schedule(1.0, lambda: None) for _ in range(300)]
+    for handle in handles:
+        handle.cancel()
+    assert compacting.compactions >= 1
+    # All live events are gone; at most a below-threshold tail of
+    # corpses (cancelled after the last compaction) may remain stored.
+    assert compacting.pending == 0
+    assert compacting.pending_raw < 64
+
+
+# ---------------------------------------------------------------------------
+# run_until truncation
+# ---------------------------------------------------------------------------
+def test_run_until_truncated_flag():
+    sim = Simulator(seed=1)
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    result = sim.run_until(100.0, max_events=4)
+    assert result == 4  # still behaves as an int
+    assert result.dispatched == 4
+    assert result.truncated is True
+    # Truncated: the clock stays at the last dispatched event, not 100.
+    assert sim.now == 4.0
+
+    result = sim.run_until(100.0)
+    assert result.dispatched == 6
+    assert result.truncated is False
+    assert sim.now == 100.0
+
+
+def test_run_until_not_truncated_at_exact_cap():
+    """Hitting the cap exactly when the work runs out still reports
+    truncated: the engine cannot know the next event would not qualify."""
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, lambda: None)
+    result = sim.run_until(10.0, max_events=1)
+    assert result.dispatched == 1
+    assert result.truncated is True
+
+
+def test_run_for_returns_run_result():
+    sim = Simulator(seed=1)
+    sim.schedule(0.5, lambda: None)
+    result = sim.run_for(2.0)
+    assert result.dispatched == 1
+    assert result.truncated is False
+    assert sim.now == 2.0
+
+
+# ---------------------------------------------------------------------------
+# PeriodicTask edges
+# ---------------------------------------------------------------------------
+def test_periodic_start_delay_zero_fires_immediately(sim):
+    ticks = []
+    sim.call_every(10.0, lambda: ticks.append(sim.now), start_delay=0.0)
+    sim.run_until(25.0)
+    assert ticks == [0.0, 10.0, 20.0]
+
+
+def test_periodic_stop_before_first_fire(sim):
+    ticks = []
+    task = sim.call_every(10.0, lambda: ticks.append(sim.now))
+    task.stop()
+    sim.run_until(100.0)
+    assert ticks == []
+    assert sim.scheduler.pending == 0
+
+
+def test_periodic_stop_leaks_no_handles(sim):
+    task = sim.call_every(5.0, lambda: None)
+    sim.run_until(12.0)
+    assert sim.scheduler.pending == 1  # exactly the next firing
+    task.stop()
+    assert sim.scheduler.pending == 0
+    task.stop()  # idempotent
+    assert sim.scheduler.pending == 0
+    sim.run_until(1000.0)
+    assert sim.scheduler.fired == 2  # only the pre-stop firings
+
+
+def test_periodic_stop_inside_callback_leaves_clean_heap(sim):
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        task.stop()
+
+    task = sim.call_every(5.0, tick)
+    sim.run_until(100.0)
+    assert ticks == [5.0]
+    assert sim.scheduler.pending == 0
+
+
+# ---------------------------------------------------------------------------
+# Engine selection + perf recorder
+# ---------------------------------------------------------------------------
+def test_engine_selection_explicit():
+    assert isinstance(Simulator(engine="wheel").scheduler, Scheduler)
+    assert isinstance(Simulator(engine="heap").scheduler, HeapScheduler)
+    with pytest.raises(SimulationError):
+        Simulator(engine="btree")
+
+
+def test_engine_selection_env(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "heap")
+    assert isinstance(Simulator().scheduler, HeapScheduler)
+    monkeypatch.setenv("REPRO_ENGINE", "wheel")
+    assert isinstance(Simulator().scheduler, Scheduler)
+
+
+@pytest.mark.parametrize("kind", ENGINES)
+def test_perf_recorder_smoke(kind):
+    sim = Simulator(seed=3, engine=kind, perf=True)
+
+    def tag():
+        pass
+
+    for i in range(20):
+        sim.schedule(float(i) / 10.0, tag)
+    handle = sim.schedule(1.5, tag)
+    handle.cancel()
+    sim.run_until(5.0)
+
+    report = sim.perf_report()
+    assert report["events"] == 20
+    assert report["scheduled"] == 21
+    assert report["cancelled"] == 1
+    assert 0 < report["cancel_ratio"] < 1
+    assert report["pending"] == report["pending_raw"] == 0
+    assert report["wall_time_s"] > 0
+    assert report["busy_time_s"] >= 0
+    label = next(iter(report["callbacks"]))
+    assert "tag" in label
+    assert report["callbacks"][label]["count"] == 20
+    # Human rendering should not blow up.
+    assert "events" in sim.perf.format_report(sim.scheduler)
+
+
+def test_perf_off_by_default():
+    sim = Simulator(seed=3)
+    assert sim.perf is None
+    assert sim.perf_report() is None
+    assert sim.scheduler.perf is None
+
+
+def test_perf_instrumented_order_matches_uninstrumented():
+    """Instrumentation must not change what runs or when."""
+    traces = []
+    for perf in (False, True):
+        sim = Simulator(seed=9, perf=perf)
+        trace = []
+
+        def chain(depth, sim=sim, trace=trace):
+            trace.append((sim.now, depth))
+            if depth:
+                sim.schedule(0.3, chain, depth - 1)
+
+        for i in range(10):
+            sim.schedule(float(i) / 4.0, chain, 3)
+        sim.run_until(30.0, max_events=25)
+        sim.run_until(30.0)
+        traces.append(trace)
+    assert traces[0] == traces[1]
