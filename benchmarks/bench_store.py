@@ -1,0 +1,204 @@
+"""Run-store throughput: simulator checkpoints and blob I/O.
+
+Two costs decide whether per-snapshot checkpointing is affordable on a
+real campaign:
+
+* **snapshot/restore** — serializing a warmed protocol world (event
+  queue, RNG streams, nodes, addrman, sockets) through the canonical
+  checkpoint pickler, and rebuilding it.  Measured per engine backend,
+  since the wheel and heap schedulers pickle different queue layouts.
+* **blob put/get** — content-addressed writes (hash + atomic rename)
+  and verified reads at checkpoint-sized payloads.
+
+Run standalone to refresh the tracked numbers::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --out BENCH_store.json
+
+or under pytest-benchmark along with the figure benches (the pytest
+path uses a smaller world so the suite stays quick).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.netmodel.scenario import ProtocolConfig, ProtocolScenario
+from repro.simnet.simulator import Simulator
+from repro.store import BlobStore
+
+_INF = float("inf")
+
+
+def _bench_snapshot(
+    engine: str, n_reachable: int, warmup: float, repeats: int
+) -> Dict[str, object]:
+    """Best-of-``repeats`` snapshot + restore times for one engine."""
+    import os
+
+    os.environ["REPRO_ENGINE"] = engine
+    try:
+        scenario = ProtocolScenario(
+            ProtocolConfig(seed=17, n_reachable=n_reachable)
+        )
+        scenario.sim.run_for(warmup)
+        best_dump = _INF
+        best_load = _INF
+        blob = b""
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            blob = scenario.sim.snapshot()
+            dt = time.perf_counter() - t0
+            best_dump = min(best_dump, dt)
+            t0 = time.perf_counter()
+            restored = Simulator.restore(blob)
+            dt = time.perf_counter() - t0
+            best_load = min(best_load, dt)
+        # restored world must actually be runnable
+        restored.run_for(10.0)
+        return {
+            "snapshot_bytes": len(blob),
+            "dump_s": round(best_dump, 4),
+            "load_s": round(best_load, 4),
+            "dump_mb_per_s": round(len(blob) / best_dump / 1e6, 1),
+            "load_mb_per_s": round(len(blob) / best_load / 1e6, 1),
+        }
+    finally:
+        os.environ.pop("REPRO_ENGINE", None)
+
+
+def _bench_blobs(
+    payload_bytes: int, count: int, repeats: int
+) -> Dict[str, object]:
+    """Put/get throughput at checkpoint-sized payloads."""
+    payloads = [
+        bytes([i & 0xFF]) * payload_bytes for i in range(count)
+    ]
+    best_put = _INF
+    best_get = _INF
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = BlobStore(tmp)
+            t0 = time.perf_counter()
+            digests = [store.put(p) for p in payloads]
+            best_put = min(best_put, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            for digest in digests:
+                store.get(digest)
+            best_get = min(best_get, time.perf_counter() - t0)
+    total = payload_bytes * count
+    return {
+        "payload_bytes": payload_bytes,
+        "count": count,
+        "put_s": round(best_put, 4),
+        "get_s": round(best_get, 4),
+        "put_mb_per_s": round(total / best_put / 1e6, 1),
+        "get_mb_per_s": round(total / best_get / 1e6, 1),
+    }
+
+
+def run_bench(
+    n_reachable: int = 60,
+    warmup: float = 1800.0,
+    payload_bytes: int = 1 << 20,
+    blob_count: int = 32,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    return {
+        "workload": {
+            "name": "store_checkpoint_roundtrip",
+            "n_reachable": n_reachable,
+            "warmup_sim_s": warmup,
+            "repeats": repeats,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "snapshot_wheel": _bench_snapshot(
+            "wheel", n_reachable, warmup, repeats
+        ),
+        "snapshot_heap": _bench_snapshot(
+            "heap", n_reachable, warmup, repeats
+        ),
+        "blobs": _bench_blobs(payload_bytes, blob_count, repeats),
+    }
+
+
+def _format(result: Dict[str, object]) -> str:
+    wheel = result["snapshot_wheel"]
+    heap = result["snapshot_heap"]
+    blobs = result["blobs"]
+    lines = [
+        "store bench "
+        f"({result['workload']['n_reachable']} reachable nodes, "
+        f"{result['workload']['warmup_sim_s']:.0f}s warmed world):",
+        f"  snapshot wheel: {wheel['snapshot_bytes']:>10,} B  "
+        f"dump {wheel['dump_s']*1e3:7.1f} ms  "
+        f"load {wheel['load_s']*1e3:7.1f} ms",
+        f"  snapshot heap:  {heap['snapshot_bytes']:>10,} B  "
+        f"dump {heap['dump_s']*1e3:7.1f} ms  "
+        f"load {heap['load_s']*1e3:7.1f} ms",
+        f"  blobs ({blobs['count']} x {blobs['payload_bytes']:,} B): "
+        f"put {blobs['put_mb_per_s']:,.0f} MB/s  "
+        f"get {blobs['get_mb_per_s']:,.0f} MB/s",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (reduced size so the bench suite stays quick)
+# ----------------------------------------------------------------------
+def test_store_checkpoint_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bench(
+            n_reachable=25, warmup=600.0, payload_bytes=1 << 18,
+            blob_count=8, repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(_format(result))
+    # Sanity floors only — absolute numbers are machine-dependent and
+    # recorded via the standalone runner, never gated in CI.
+    assert result["snapshot_wheel"]["snapshot_bytes"] > 10_000
+    assert result["blobs"]["put_mb_per_s"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=60)
+    parser.add_argument("--warmup", type=float, default=1800.0)
+    parser.add_argument("--blob-kb", type=int, default=1024)
+    parser.add_argument("--blob-count", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", default=None, help="write BENCH_store.json-style output here"
+    )
+    args = parser.parse_args(argv)
+    result = run_bench(
+        n_reachable=args.nodes,
+        warmup=args.warmup,
+        payload_bytes=args.blob_kb * 1024,
+        blob_count=args.blob_count,
+        repeats=args.repeats,
+    )
+    print(_format(result))
+    if args.out:
+        out_path = Path(args.out)
+        with out_path.open("w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..simnet.addresses import NetAddr, TimestampedAddr
@@ -277,7 +278,9 @@ class BitcoinNode:
             self.addr,
             target,
             handler=self,
-            on_result=lambda sock: self._connection_result(target, started, sock),
+            # partial, not a lambda: the callback sits in the event queue
+            # and must survive Simulator.snapshot() pickling.
+            on_result=partial(self._connection_result, target, started),
             timeout=self.config.connect_timeout,
         )
 
@@ -342,7 +345,7 @@ class BitcoinNode:
             self.addr,
             target,
             handler=_FeelerHandler(),
-            on_result=lambda sock: self._feeler_result(target, started, sock),
+            on_result=partial(self._feeler_result, target, started),
             timeout=self.config.connect_timeout,
         )
 

@@ -10,11 +10,18 @@ Commands
 ``sync``       the Fig. 1 contrast (2019-like vs 2020-like churn)
 ``relay``      the Fig. 10/11 relay-delay measurement
 ``conn``       the Fig. 6/7 connection experiments
+``store``      inspect the run store (``ls`` / ``show`` / ``gc`` / ``diff``)
+
+``campaign --store DIR`` checkpoints the run into a content-addressed
+store after every snapshot; an interrupted run resumes from its last
+checkpoint (``--resume RUN_ID`` to be explicit) and a completed run with
+the same config is a cache hit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -35,16 +42,29 @@ from .netmodel import (
 from .units import DAYS, HOURS
 
 
+def _warn_truncated(label: str, indices_or_seeds) -> None:
+    print(
+        f"WARNING: {label} truncated at {indices_or_seeds} — the affected "
+        f"measurements are lower bounds, not full crawls"
+    )
+
+
 def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
     base = LongitudinalConfig(
-        scale=args.scale, snapshots=args.snapshots, seed=args.seed
+        scale=args.scale, snapshots=args.snapshots, seed=args.seed,
+        engine=args.engine,
     )
     seeds = core.seed_range(args.seed, args.seeds)
     print(
         f"campaign sweep: scale={args.scale} snapshots={args.snapshots} "
         f"seeds={seeds} workers={args.workers or 'auto'}"
+        + (f" store={args.store}" if args.store else "")
     )
-    sweep = core.run_campaign_sweep(base, seeds, workers=args.workers)
+    sweep = core.run_campaign_sweep(
+        base, seeds, workers=args.workers, store=args.store
+    )
+    if sweep.truncated:
+        _warn_truncated("campaigns for seeds", sweep.truncated_seeds)
     s = args.scale
     mean = sweep.mean_over_seeds
     print(
@@ -91,17 +111,40 @@ def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.seeds > 1:
         return _cmd_campaign_sweep(args)
-    scenario = LongitudinalScenario(
-        LongitudinalConfig(
-            scale=args.scale, snapshots=args.snapshots, seed=args.seed
+    config = LongitudinalConfig(
+        scale=args.scale, snapshots=args.snapshots, seed=args.seed,
+        engine=args.engine,
+    )
+    if args.store is not None or args.resume is not None:
+        from .store import default_store_root, run_stored_campaign
+
+        root = args.store if args.store is not None else default_store_root()
+        stored = run_stored_campaign(root, config, resume=args.resume)
+        provenance = (
+            "cached" if stored.cached
+            else f"resumed from snapshot {stored.resumed_from}"
+            if stored.resumed_from is not None
+            else "fresh run"
         )
-    )
-    runner = core.CampaignRunner(scenario)
-    print(
-        f"campaign: scale={args.scale} snapshots={args.snapshots} "
-        f"population={scenario.population.summary()}"
-    )
-    result = runner.run()
+        print(
+            f"campaign: run {stored.manifest.run_id} [{provenance}] "
+            f"engine={stored.manifest.engine} store={root}"
+        )
+        result = stored.result
+        # The printed tables need the deterministic address universe the
+        # campaign ran against; rebuilding the scenario from the config
+        # recreates it without simulating anything.
+        scenario = LongitudinalScenario(config)
+    else:
+        scenario = LongitudinalScenario(config)
+        runner = core.CampaignRunner(scenario)
+        print(
+            f"campaign: scale={args.scale} snapshots={args.snapshots} "
+            f"population={scenario.population.summary()}"
+        )
+        result = runner.run()
+    if result.truncated:
+        _warn_truncated("snapshots", result.truncated_snapshots)
     s = args.scale
     fig4 = result.fig4_series()
     fig5 = result.fig5_series()
@@ -175,6 +218,11 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         )
         results = core.run_2019_vs_2020(base)
     r2019, r2020 = results["2019"], results["2020"]
+    for label, result in results.items():
+        if result.truncated:
+            _warn_truncated(f"sync campaign {label!r}", getattr(
+                result, "truncated_seeds", "the event cap"
+            ))
     print(
         comparison_table(
             [
@@ -282,6 +330,97 @@ def _cmd_conn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace):
+    from .store import RunStore, default_store_root
+
+    root = args.store if args.store is not None else default_store_root()
+    return RunStore(root)
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    manifests = store.manifests()
+    if not manifests:
+        print(f"store at {store.root} is empty")
+        return 0
+    print(
+        format_table(
+            ("run id", "kind", "status", "snapshots", "engine", "seed",
+             "truncated"),
+            [
+                (m.run_id, m.kind, m.status,
+                 f"{m.completed_snapshots}/{m.snapshots_total}",
+                 m.engine, m.seed, "yes" if m.truncated else "no")
+                for m in manifests
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_store_show(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    manifest = store.load_manifest(args.run_id)
+    for name in ("run_id", "kind", "status", "seed", "engine",
+                 "snapshots_total", "code_version", "key"):
+        print(f"{name:16} {getattr(manifest, name)}")
+    print(f"{'result_digest':16} {manifest.result_digest or '-'}")
+    if manifest.checkpoint is not None:
+        print(
+            f"{'checkpoint':16} {manifest.checkpoint.digest[:16]}... "
+            f"(after snapshot {manifest.checkpoint.snapshot_index})"
+        )
+    print(f"{'config':16} {json.dumps(manifest.config, sort_keys=True)}")
+    if manifest.snapshots:
+        print()
+        print(
+            format_table(
+                ("snapshot", "when", "digest", "truncated"),
+                [
+                    (s.index, s.when, f"{s.digest[:16]}...",
+                     "yes" if s.truncated else "no")
+                    for s in manifest.snapshots
+                ],
+            )
+        )
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    report = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {len(report['removed'])} unreferenced blob(s) "
+        f"({report['removed_bytes']} bytes), kept {report['kept']}"
+    )
+    return 0
+
+
+def _cmd_store_diff(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    report = store.diff(args.run_a, args.run_b)
+    print(f"diff {report['a']} vs {report['b']}")
+    for name, change in report["fields"].items():
+        print(f"  {name}: {change['a']!r} -> {change['b']!r}")
+    for key, change in report["config"].items():
+        print(f"  config.{key}: {change['a']!r} -> {change['b']!r}")
+    if not report["fields"] and not report["config"]:
+        print("  identical run parameters")
+    if report["snapshots"]:
+        differing = [r["index"] for r in report["snapshots"] if not r["equal"]]
+        if report["snapshots_equal"]:
+            print(f"  all {len(report['snapshots'])} snapshot outputs identical")
+        else:
+            print(f"  snapshot outputs differ at {differing}")
+    if report["result_equal"] is not None:
+        print(
+            "  final results identical" if report["result_equal"]
+            else "  final results differ"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -302,6 +441,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --seeds > 1 (default: CPU count)",
     )
     campaign.add_argument("--export", type=str, default=None, metavar="DIR")
+    campaign.add_argument(
+        "--engine", choices=("wheel", "heap"), default=None,
+        help="event scheduler backend (default: REPRO_ENGINE or wheel)",
+    )
+    campaign.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="checkpoint into this run store (resume/cache on re-run)",
+    )
+    campaign.add_argument(
+        "--resume", type=str, default=None, metavar="RUN_ID",
+        help="resume this run id from its last checkpoint",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     sync = sub.add_parser("sync", help="run the Fig. 1 churn contrast")
@@ -331,6 +482,35 @@ def build_parser() -> argparse.ArgumentParser:
     conn.add_argument("--runs", type=int, default=5)
     conn.add_argument("--seed", type=int, default=5)
     conn.set_defaults(func=_cmd_conn)
+
+    store = sub.add_parser("store", help="inspect the run store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store", type=str, default=None, metavar="DIR",
+            help="store root (default: $REPRO_STORE or ./repro-store)",
+        )
+
+    store_ls = store_sub.add_parser("ls", help="list runs")
+    _store_flag(store_ls)
+    store_ls.set_defaults(func=_cmd_store_ls)
+
+    store_show = store_sub.add_parser("show", help="show one run's manifest")
+    store_show.add_argument("run_id")
+    _store_flag(store_show)
+    store_show.set_defaults(func=_cmd_store_show)
+
+    store_gc = store_sub.add_parser("gc", help="delete unreferenced blobs")
+    store_gc.add_argument("--dry-run", action="store_true")
+    _store_flag(store_gc)
+    store_gc.set_defaults(func=_cmd_store_gc)
+
+    store_diff = store_sub.add_parser("diff", help="compare two runs")
+    store_diff.add_argument("run_a")
+    store_diff.add_argument("run_b")
+    _store_flag(store_diff)
+    store_diff.set_defaults(func=_cmd_store_diff)
 
     return parser
 

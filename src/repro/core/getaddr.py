@@ -21,6 +21,7 @@ node in Fig. 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Set
 
 from ..errors import ScenarioError
@@ -135,6 +136,9 @@ class GetAddrCrawler:
         self._result: Optional[CrawlResult] = None
         self._on_done: Optional[Callable[[CrawlResult], None]] = None
         self.done = False
+        #: True when the last :meth:`run_to_completion` hit its deadline
+        #: and aborted outstanding sessions (the crawl is incomplete).
+        self.aborted = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -152,6 +156,7 @@ class GetAddrCrawler:
         if self._result is not None and not self.done:
             raise ScenarioError("a crawl is already in progress")
         self.done = False
+        self.aborted = False
         self._result = CrawlResult()
         self._on_done = on_done
         self._pending = list(targets)
@@ -170,6 +175,7 @@ class GetAddrCrawler:
             if not self.sim.step():
                 break
         if not self.done:
+            self.aborted = True
             self._abort_all()
         return result
 
@@ -188,7 +194,9 @@ class GetAddrCrawler:
                 self.addr,
                 target,
                 handler=self,
-                on_result=lambda sock, h=harvest: self._connected(h, sock),
+                # partial, not a lambda: pending connects must survive
+                # checkpoint pickling (Simulator.snapshot()).
+                on_result=partial(self._connected, harvest),
                 timeout=self.config.connect_timeout,
             )
 

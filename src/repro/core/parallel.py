@@ -110,6 +110,20 @@ class SyncSweepResult:
             np.mean([r.sync_departures_per_10min for r in self.per_seed])
         )
 
+    @property
+    def truncated(self) -> bool:
+        """True if any seed's campaign was cut short by its event cap."""
+        return any(r.truncated for r in self.per_seed)
+
+    @property
+    def truncated_seeds(self) -> List[int]:
+        """Seeds whose campaigns were cut short (pooled stats are biased)."""
+        return [
+            seed
+            for seed, result in zip(self.seeds, self.per_seed)
+            if result.truncated
+        ]
+
     def density(self, **kwargs) -> DensityEstimate:
         """KDE over the pooled samples (a seed-averaged Fig. 1 curve)."""
         return kde(self.sync_samples, **kwargs)
@@ -165,9 +179,22 @@ def _campaign_worker(
     base: LongitudinalConfig,
     config: Optional[CampaignConfig],
     snapshots: Optional[int],
+    store_root: Optional[str],
     seed: int,
 ) -> CampaignResult:
-    scenario = LongitudinalScenario(replace(base, seed=seed))
+    seeded = replace(base, seed=seed)
+    if store_root is not None:
+        # Route through the run store: each seed's campaign becomes a
+        # durable, individually resumable run, and re-sweeping the same
+        # configs is a per-seed cache hit.  Imported lazily so plain
+        # sweeps never load the store package in workers.
+        from ..store.campaign import run_stored_campaign
+
+        stored = run_stored_campaign(
+            store_root, seeded, campaign_config=config, snapshots=snapshots
+        )
+        return stored.result
+    scenario = LongitudinalScenario(seeded)
     runner = CampaignRunner(scenario, config)
     return runner.run(snapshots=snapshots)
 
@@ -190,6 +217,20 @@ class CampaignSweepResult:
             seen |= result.cumulative_unreachable
         return len(seen)
 
+    @property
+    def truncated(self) -> bool:
+        """True if any seed's campaign contains a cut-short snapshot."""
+        return any(result.truncated for result in self.per_seed)
+
+    @property
+    def truncated_seeds(self) -> List[int]:
+        """Seeds with at least one truncated snapshot (lower bounds only)."""
+        return [
+            seed
+            for seed, result in zip(self.seeds, self.per_seed)
+            if result.truncated
+        ]
+
 
 def run_campaign_sweep(
     base: LongitudinalConfig,
@@ -197,9 +238,22 @@ def run_campaign_sweep(
     config: Optional[CampaignConfig] = None,
     snapshots: Optional[int] = None,
     workers: Optional[int] = None,
+    store: Optional[str] = None,
 ) -> CampaignSweepResult:
-    """Run the Fig. 2 crawl campaign once per seed and merge."""
+    """Run the Fig. 2 crawl campaign once per seed and merge.
+
+    ``store`` names a run-store root; when given, every per-seed campaign
+    is checkpointed there and completed seeds are served from the cache
+    on re-runs (the store root travels to workers as a plain path so the
+    task stays picklable).
+    """
     seeds = list(seeds)
-    task = partial(_campaign_worker, base, config, snapshots)
+    task = partial(
+        _campaign_worker,
+        base,
+        config,
+        snapshots,
+        os.fspath(store) if store is not None else None,
+    )
     results = run_multi_seed(task, seeds, workers)
     return CampaignSweepResult(seeds=seeds, per_seed=results)

@@ -55,6 +55,9 @@ class SnapshotResult:
     new_responsive: int
     addr_composition: AddrComposition
     detection: DetectionReport
+    #: True when the crawl or probe pass hit its time budget and was cut
+    #: short — the snapshot's sets are lower bounds, not full measurements.
+    truncated: bool = False
 
 
 @dataclass
@@ -65,6 +68,16 @@ class CampaignResult:
     cumulative_reachable: Set[NetAddr] = field(default_factory=set)
     cumulative_unreachable: Set[NetAddr] = field(default_factory=set)
     cumulative_responsive: Set[NetAddr] = field(default_factory=set)
+
+    @property
+    def truncated(self) -> bool:
+        """True if any snapshot's measurement was cut short."""
+        return any(snap.truncated for snap in self.snapshots)
+
+    @property
+    def truncated_snapshots(self) -> List[int]:
+        """Indices of snapshots whose crawl/probe pass was cut short."""
+        return [snap.index for snap in self.snapshots if snap.truncated]
 
     # ------------------------------------------------------------------
     # Figure series
@@ -191,6 +204,12 @@ class CampaignRunner:
         """Execute one full Fig. 2 pass at campaign time ``when``."""
         scenario = self.scenario
         scenario.materialize_snapshot(when)
+        # Record the *scenario clock*, not the requested offset: the two
+        # agree today (materialize lands the clock exactly on ``when``),
+        # but the clock is what a checkpoint serializes, so stamping from
+        # it guarantees resumed and fresh runs produce identical rows
+        # even if the snapshot scheduling maths ever changes.
+        when = scenario.sim.now
         views = scenario.oracles.snapshot(when)
         crawl_input = self.address_crawler.collect(views)
 
@@ -202,6 +221,7 @@ class CampaignRunner:
 
         crawler = GetAddrCrawler(scenario.sim, CRAWLER_ADDR, self.config.getaddr)
         crawl = crawler.run_to_completion(targets)
+        truncated = crawler.aborted
 
         connected = set(crawl.connected_targets)
         dns_only = crawl_input.dns - crawl_input.bitnodes
@@ -215,6 +235,7 @@ class CampaignRunner:
             prober = VerProber(scenario.sim, CRAWLER_ADDR, self.config.probe)
             probe_result = prober.run_to_completion(unreachable)
             responsive = probe_result.responsive
+            truncated = truncated or prober.aborted
 
         comp = composition(crawl, reachable_known)
         detection = detect_flooders(
@@ -242,6 +263,7 @@ class CampaignRunner:
             ),
             addr_composition=comp,
             detection=detection,
+            truncated=truncated,
         )
         self.result.snapshots.append(snapshot)
         self.result.cumulative_reachable |= connected

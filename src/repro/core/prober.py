@@ -13,6 +13,7 @@ answers per the ground-truth class, including the firewalled silent case.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..errors import ScenarioError
@@ -79,6 +80,9 @@ class VerProber:
         self._buckets: Dict[ProbeResult, set] = {}
         self._on_done: Optional[Callable[[ProbeCampaignResult], None]] = None
         self.done = False
+        #: True when the last :meth:`run_to_completion` hit its deadline
+        #: with probes still outstanding (the classification is partial).
+        self.aborted = False
 
     def probe_all(
         self,
@@ -89,6 +93,7 @@ class VerProber:
         if self._result is not None and not self.done:
             raise ScenarioError("a probe campaign is already in progress")
         self.done = False
+        self.aborted = False
         self._result = ProbeCampaignResult()
         # Outcome -> result bucket, built once per campaign; _probed runs
         # once per probe and must not rebuild this mapping every time.
@@ -114,6 +119,7 @@ class VerProber:
         while not self.done and self.sim.now < deadline:
             if not self.sim.step():
                 break
+        self.aborted = not self.done
         self.done = True
         return result
 
@@ -124,7 +130,9 @@ class VerProber:
             self.sim.network.probe(
                 self.addr,
                 target,
-                on_result=lambda outcome, t=target: self._probed(t, outcome),
+                # partial, not a lambda: pending probes must survive
+                # checkpoint pickling (Simulator.snapshot()).
+                on_result=partial(self._probed, target),
                 timeout=self.config.timeout,
             )
 

@@ -46,6 +46,9 @@ class SyncCampaignConfig:
     warmup: float = 900.0
     duration: float = 3 * 3600.0
     seed: int = 21
+    #: Optional event-count safety cap on the measurement run; when hit,
+    #: the campaign is cut short and the result is marked truncated.
+    max_events: Optional[int] = None
 
 
 @dataclass
@@ -56,6 +59,9 @@ class SyncCampaignResult:
     sync_departures_per_10min: float
     total_departures: int
     config: SyncCampaignConfig
+    #: True when the event cap stopped the run before ``duration``
+    #: elapsed — the sample series is shorter than requested.
+    truncated: bool = False
 
     @property
     def mean(self) -> float:
@@ -88,7 +94,7 @@ def run_sync_campaign(
     monitor = SyncMonitor(
         scenario, period=config.sample_period, poll_spread=config.poll_spread
     )
-    scenario.sim.run_for(config.duration)
+    run = scenario.sim.run_for(config.duration, max_events=config.max_events)
     monitor.stop()
     departures = monitor.departure_stats()
     return SyncCampaignResult(
@@ -96,6 +102,7 @@ def run_sync_campaign(
         sync_departures_per_10min=monitor.departures_per_10min(),
         total_departures=departures.total_departures,
         config=config,
+        truncated=run.truncated,
     )
 
 

@@ -50,3 +50,11 @@ class ScenarioError(ReproError):
 
 class AnalysisError(ReproError):
     """Invalid input to an analysis routine (e.g. empty sample set)."""
+
+
+class StoreError(ReproError):
+    """A run-store failure (missing blob, corrupt manifest, bad key)."""
+
+
+class CheckpointError(StoreError):
+    """A checkpoint payload is corrupt, truncated, or of the wrong kind."""

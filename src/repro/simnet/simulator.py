@@ -54,14 +54,21 @@ class RunResult(int):
         return f"RunResult(dispatched={int(self)}, truncated={self.truncated})"
 
 
-def _make_scheduler(engine: Optional[str], clock: SimClock):
+def resolve_engine(engine: Optional[str]) -> str:
+    """The effective engine name: explicit choice, else REPRO_ENGINE."""
     if engine is None:
         engine = os.environ.get("REPRO_ENGINE", "wheel")
+    if engine not in ("wheel", "heap"):
+        raise SimulationError(
+            f"unknown engine {engine!r} (want 'wheel' or 'heap')"
+        )
+    return engine
+
+
+def _make_scheduler(engine: str, clock: SimClock):
     if engine == "wheel":
         return Scheduler(clock)
-    if engine == "heap":
-        return HeapScheduler(clock)
-    raise SimulationError(f"unknown engine {engine!r} (want 'wheel' or 'heap')")
+    return HeapScheduler(clock)
 
 
 class Simulator:
@@ -76,8 +83,11 @@ class Simulator:
         perf: bool = False,
     ) -> None:
         self.seed = int(seed)
+        #: Resolved scheduler backend name ("wheel" or "heap"); recorded
+        #: in run manifests so a resumed run replays on the same engine.
+        self.engine = resolve_engine(engine)
         self.clock = SimClock()
-        self.scheduler = _make_scheduler(engine, self.clock)
+        self.scheduler = _make_scheduler(self.engine, self.clock)
         #: Optional engine instrumentation (``perf=True`` or REPRO_PERF=1).
         self.perf: Optional[PerfRecorder] = None
         if perf or perf_enabled_by_env():
@@ -172,6 +182,64 @@ class Simulator:
                 f"simulation did not quiesce within {max_events} events"
             )
         return dispatched
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the complete simulation state to bytes.
+
+        The payload captures everything a deterministic replay needs —
+        the event queue (either scheduler backend), the clock, every
+        seeded RNG stream at its current position, the network (open
+        sockets, listeners, in-flight deliveries), and all registered
+        components plus whatever the pending callbacks reach (nodes,
+        addrman tables, churn processes).  :meth:`restore` rebuilds a
+        simulator that dispatches the exact same event sequence as the
+        original — pinned by test on both engine backends.
+
+        The perf recorder is excluded: it holds wall-clock measurements,
+        which are not simulation state and would differ per host.
+        """
+        from ..store.checkpoint import dump_checkpoint
+
+        perf = self.perf
+        sched_perf = self.scheduler.perf
+        self.perf = None
+        self.scheduler.perf = None
+        try:
+            return dump_checkpoint(
+                self,
+                kind="simulator",
+                meta={
+                    "engine": self.engine,
+                    "seed": self.seed,
+                    "now": self.clock.now,
+                    "fired": self.scheduler.fired,
+                    "pending": self.scheduler.pending,
+                },
+            )
+        finally:
+            self.perf = perf
+            self.scheduler.perf = sched_perf
+
+    @classmethod
+    def restore(cls, data: bytes) -> "Simulator":
+        """Rebuild a simulator from a :meth:`snapshot` payload.
+
+        Validates the checkpoint header (magic, format version, payload
+        integrity) before unpickling; raises
+        :class:`~repro.errors.SimulationError` on a corrupt or
+        wrong-kind payload.
+        """
+        from ..store.checkpoint import load_checkpoint
+
+        sim = load_checkpoint(data, expect_kind="simulator")
+        if not isinstance(sim, cls):
+            raise SimulationError(
+                f"checkpoint does not contain a {cls.__name__}"
+            )
+        return sim
 
     # ------------------------------------------------------------------
     # Instrumentation

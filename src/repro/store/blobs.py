@@ -1,0 +1,118 @@
+"""Content-addressed blob storage.
+
+Blobs are immutable byte strings keyed by their SHA-256 hex digest and
+laid out git-style under ``objects/<first two hex>/<remaining hex>``.
+Writes are atomic — the blob is written to a temporary file in the same
+directory and ``os.replace``d into place — so a killed process can never
+leave a half-written object under its final name, and concurrent writers
+of the same content race harmlessly (both produce identical bytes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Union
+
+from ..errors import StoreError
+
+PathLike = Union[str, Path]
+
+
+def sha256_hex(data: bytes) -> str:
+    """The hex digest used as a blob's address."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class BlobStore:
+    """SHA-256-addressed object store rooted at ``root``."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+            raise StoreError(f"not a sha256 hex digest: {digest!r}")
+        return self.objects_dir / digest[:2] / digest[2:]
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def put(self, data: bytes) -> str:
+        """Store ``data``; return its digest.  Idempotent."""
+        digest = sha256_hex(data)
+        path = self._path(digest)
+        if path.exists():
+            return digest
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".blob"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        """Read a blob back, verifying content against its address."""
+        path = self._path(digest)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise StoreError(f"blob {digest} not in store") from None
+        if sha256_hex(data) != digest:
+            raise StoreError(f"blob {digest} is corrupt on disk")
+        return data
+
+    def has(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def delete(self, digest: str) -> bool:
+        """Remove a blob; returns whether it existed."""
+        path = self._path(digest)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def digests(self) -> Iterator[str]:
+        """Every digest currently stored."""
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir() or len(shard.name) != 2:
+                continue
+            for obj in sorted(shard.iterdir()):
+                if not obj.name.startswith("."):
+                    yield shard.name + obj.name
+
+    def size_bytes(self, digest: str) -> int:
+        try:
+            return self._path(digest).stat().st_size
+        except FileNotFoundError:
+            raise StoreError(f"blob {digest} not in store") from None
+
+    def total_bytes(self) -> int:
+        return sum(self.size_bytes(d) for d in self.digests())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def __contains__(self, digest: str) -> bool:
+        return self.has(digest)
+
+    def __repr__(self) -> str:
+        return f"BlobStore(root={str(self.root)!r}, blobs={len(self)})"

@@ -1,0 +1,237 @@
+"""The run store: manifests + blobs + index under one root directory.
+
+Layout::
+
+    <root>/
+      objects/<aa>/<...62 hex...>   content-addressed blobs
+      runs/<run_id>.json            one manifest per run
+      index.json                    derived listing cache
+
+Manifest writes are atomic (tmp + ``os.replace``), so a run killed
+mid-write leaves either the old manifest or the new one, never a torn
+file.  ``index.json`` is a *derived* cache rebuilt from the manifests on
+every write and on demand — parallel sweep workers each rewrite it after
+their own manifest update, and because it carries no information the
+``runs/`` scan does not, the last writer winning is harmless.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import StoreError
+from .blobs import BlobStore
+from .manifest import RunManifest
+
+PathLike = Union[str, Path]
+
+#: Environment variable naming the default store root for the CLI.
+STORE_ENV = "REPRO_STORE"
+DEFAULT_STORE_DIR = "repro-store"
+
+
+def default_store_root() -> str:
+    """CLI default: ``$REPRO_STORE`` or ``./repro-store``."""
+    return os.environ.get(STORE_ENV, DEFAULT_STORE_DIR)
+
+
+class RunStore:
+    """Durable, content-addressed storage for experiment runs."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.blobs = BlobStore(self.root)
+        self.runs_dir = self.root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / "index.json"
+
+    # ------------------------------------------------------------------
+    # Blobs (delegation, so callers hold one handle)
+    # ------------------------------------------------------------------
+    def put_blob(self, data: bytes) -> str:
+        return self.blobs.put(data)
+
+    def get_blob(self, digest: str) -> bytes:
+        return self.blobs.get(digest)
+
+    # ------------------------------------------------------------------
+    # Manifests
+    # ------------------------------------------------------------------
+    def _manifest_path(self, run_id: str) -> Path:
+        if not run_id or "/" in run_id or run_id.startswith("."):
+            raise StoreError(f"invalid run id {run_id!r}")
+        return self.runs_dir / f"{run_id}.json"
+
+    def save_manifest(self, manifest: RunManifest) -> None:
+        """Atomically persist ``manifest`` and refresh the index."""
+        path = self._manifest_path(manifest.run_id)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.runs_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(manifest.to_json())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._write_index()
+
+    def load_manifest(self, run_id: str) -> RunManifest:
+        path = self._manifest_path(run_id)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise StoreError(f"run {run_id!r} not in store") from None
+        return RunManifest.from_json(text)
+
+    def has_run(self, run_id: str) -> bool:
+        return self._manifest_path(run_id).exists()
+
+    def delete_run(self, run_id: str) -> bool:
+        """Remove a manifest (blobs are reclaimed by :meth:`gc`)."""
+        try:
+            self._manifest_path(run_id).unlink()
+        except FileNotFoundError:
+            return False
+        self._write_index()
+        return True
+
+    def manifests(self) -> List[RunManifest]:
+        """Every manifest, ordered by run id."""
+        out = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue
+            out.append(RunManifest.from_json(path.read_text()))
+        return out
+
+    def find_by_key(self, key: str) -> Optional[RunManifest]:
+        """The manifest with run key ``key``, if any."""
+        for manifest in self.manifests():
+            if manifest.key == key:
+                return manifest
+        return None
+
+    # ------------------------------------------------------------------
+    # Index
+    # ------------------------------------------------------------------
+    def index(self) -> Dict[str, Dict[str, Any]]:
+        """Rebuild and return the run listing (run id -> summary row)."""
+        rows: Dict[str, Dict[str, Any]] = {}
+        for manifest in self.manifests():
+            rows[manifest.run_id] = {
+                "kind": manifest.kind,
+                "status": manifest.status,
+                "seed": manifest.seed,
+                "engine": manifest.engine,
+                "snapshots": (
+                    f"{manifest.completed_snapshots}/{manifest.snapshots_total}"
+                ),
+                "truncated": manifest.truncated,
+                "key": manifest.key,
+                "updated_at": manifest.updated_at,
+            }
+        return rows
+
+    def _write_index(self) -> None:
+        rows = self.index()
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-index-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(rows, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            os.replace(tmp_name, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, dry_run: bool = False) -> Dict[str, Any]:
+        """Delete blobs no manifest references.
+
+        Returns a report with the removed/kept digests and byte counts.
+        """
+        referenced = set()
+        for manifest in self.manifests():
+            referenced.update(manifest.referenced_digests())
+        removed: List[str] = []
+        removed_bytes = 0
+        kept = 0
+        for digest in list(self.blobs.digests()):
+            if digest in referenced:
+                kept += 1
+                continue
+            removed_bytes += self.blobs.size_bytes(digest)
+            if not dry_run:
+                self.blobs.delete(digest)
+            removed.append(digest)
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "kept": kept,
+            "dry_run": dry_run,
+        }
+
+    # ------------------------------------------------------------------
+    # Diff
+    # ------------------------------------------------------------------
+    def diff(self, run_id_a: str, run_id_b: str) -> Dict[str, Any]:
+        """Compare two run manifests field by field.
+
+        Reports config keys whose values differ, scalar field changes,
+        and per-snapshot result-blob agreement (content addressing makes
+        "same output" a digest comparison).
+        """
+        a = self.load_manifest(run_id_a)
+        b = self.load_manifest(run_id_b)
+        config_diff: Dict[str, Any] = {}
+        keys = sorted(set(a.config) | set(b.config))
+        for key in keys:
+            va, vb = a.config.get(key), b.config.get(key)
+            if va != vb:
+                config_diff[key] = {"a": va, "b": vb}
+        fields = {}
+        for name in ("kind", "seed", "engine", "snapshots_total", "status",
+                     "code_version", "key"):
+            va, vb = getattr(a, name), getattr(b, name)
+            if va != vb:
+                fields[name] = {"a": va, "b": vb}
+        n = max(a.completed_snapshots, b.completed_snapshots)
+        snap_rows = []
+        for i in range(n):
+            da = a.snapshots[i].digest if i < a.completed_snapshots else None
+            db = b.snapshots[i].digest if i < b.completed_snapshots else None
+            snap_rows.append(
+                {"index": i, "equal": da == db and da is not None,
+                 "a": da, "b": db}
+            )
+        return {
+            "a": run_id_a,
+            "b": run_id_b,
+            "fields": fields,
+            "config": config_diff,
+            "snapshots": snap_rows,
+            "snapshots_equal": all(row["equal"] for row in snap_rows)
+            if snap_rows
+            else None,
+            "result_equal": (
+                a.result_digest == b.result_digest
+                if a.result_digest and b.result_digest
+                else None
+            ),
+        }

@@ -1,0 +1,156 @@
+"""Smoke tests: every CLI subcommand runs end-to-end at tiny scale.
+
+These guard the argument wiring, not the science — each command gets the
+smallest world that exercises its full code path, runs through
+``main(argv)`` exactly as a shell invocation would, and must exit 0 with
+its headline table on stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def tiny_store(tmp_path):
+    """A store holding one completed two-snapshot campaign."""
+    root = tmp_path / "store"
+    code = main(
+        [
+            "campaign", "--scale", "0.002", "--snapshots", "2",
+            "--seed", "7", "--store", str(root),
+        ]
+    )
+    assert code == 0
+    from repro.store import RunStore
+
+    store = RunStore(root)
+    (manifest,) = store.manifests()
+    return root, manifest.run_id
+
+
+class TestParserWiring:
+    def test_store_group_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_store_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["store", "ls"],
+            ["store", "show", "campaign-abc"],
+            ["store", "gc", "--dry-run"],
+            ["store", "diff", "campaign-a", "campaign-b"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == "store"
+            assert callable(args.func)
+
+    def test_campaign_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--store", "st", "--resume", "campaign-abc",
+             "--engine", "heap"]
+        )
+        assert args.store == "st"
+        assert args.resume == "campaign-abc"
+        assert args.engine == "heap"
+
+
+class TestCampaignSmoke:
+    def test_campaign_runs(self, capsys):
+        code = main(["campaign", "--scale", "0.002", "--snapshots", "2"])
+        assert code == 0
+        assert "Campaign" in capsys.readouterr().out
+
+    def test_campaign_sweep_runs(self, capsys):
+        code = main(
+            ["campaign", "--scale", "0.002", "--snapshots", "2",
+             "--seeds", "2", "--workers", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign sweep" in out
+        assert "mean over 2 seeds" in out
+
+    def test_campaign_store_cache_hit(self, tiny_store, capsys):
+        root, run_id = tiny_store
+        code = main(
+            ["campaign", "--scale", "0.002", "--snapshots", "2",
+             "--seed", "7", "--store", str(root)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[cached]" in out
+        assert run_id in out
+
+    def test_campaign_resume_wrong_config_fails_loudly(self, tiny_store):
+        from repro.errors import StoreError
+
+        root, run_id = tiny_store
+        with pytest.raises(StoreError):
+            main(
+                ["campaign", "--scale", "0.002", "--snapshots", "2",
+                 "--seed", "8", "--store", str(root), "--resume", run_id]
+            )
+
+
+class TestStoreSmoke:
+    def test_ls(self, tiny_store, capsys):
+        root, run_id = tiny_store
+        assert main(["store", "ls", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "complete" in out
+
+    def test_ls_empty(self, tmp_path, capsys):
+        assert main(["store", "ls", "--store", str(tmp_path / "none")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_show(self, tiny_store, capsys):
+        root, run_id = tiny_store
+        assert main(["store", "show", run_id, "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "result_digest" in out
+        assert "snapshot" in out
+
+    def test_gc(self, tiny_store, capsys):
+        root, _ = tiny_store
+        assert main(["store", "gc", "--dry-run", "--store", str(root)]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert main(["store", "gc", "--store", str(root)]) == 0
+        assert "removed" in capsys.readouterr().out
+        # after gc the stored result must still load (cache hit path)
+        code = main(
+            ["campaign", "--scale", "0.002", "--snapshots", "2",
+             "--seed", "7", "--store", str(root)]
+        )
+        assert code == 0
+
+    def test_diff_self(self, tiny_store, capsys):
+        root, run_id = tiny_store
+        assert main(
+            ["store", "diff", run_id, run_id, "--store", str(root)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "identical run parameters" in out
+        assert "final results identical" in out
+
+
+@pytest.mark.slow
+class TestProtocolCommandsSmoke:
+    def test_sync_runs(self, capsys):
+        code = main(["sync", "--nodes", "12", "--hours", "0.4", "--seed", "3"])
+        assert code == 0
+        assert "Fig. 1" in capsys.readouterr().out
+
+    def test_relay_runs(self, capsys):
+        code = main(["relay", "--nodes", "10", "--hours", "0.5"])
+        assert code == 0
+        assert "block relay mean" in capsys.readouterr().out
+
+    def test_conn_runs(self, capsys):
+        code = main(["conn", "--nodes", "15", "--runs", "1"])
+        assert code == 0
+        assert "connection success rate" in capsys.readouterr().out

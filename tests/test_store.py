@@ -1,0 +1,384 @@
+"""Tests for the run store: blobs, checkpoints, manifests, resume.
+
+The subprocess tests at the bottom are the tentpole acceptance pin:
+a campaign killed mid-run (hard ``os._exit`` right after a checkpoint
+commits) and then resumed produces byte-identical CSV exports and
+identical content-store digests to an uninterrupted run — on both
+scheduler backends.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import CheckpointError, SimulationError, StoreError
+from repro.netmodel.scenario import (
+    LongitudinalConfig,
+    ProtocolConfig,
+    ProtocolScenario,
+)
+from repro.simnet.simulator import Simulator, resolve_engine
+from repro.store import (
+    BlobStore,
+    RunManifest,
+    RunStore,
+    SnapshotRecord,
+    campaign_key,
+    campaign_run_id,
+    dump_checkpoint,
+    load_checkpoint,
+    read_header,
+    run_key,
+    run_stored_campaign,
+    sha256_hex,
+)
+from repro.store.campaign import CRASH_ENV, CRASH_EXIT_CODE
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = BlobStore(tmp_path)
+        digest = store.put(b"hello world")
+        assert digest == sha256_hex(b"hello world")
+        assert store.get(digest) == b"hello world"
+        assert digest in store
+        assert len(store) == 1
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = BlobStore(tmp_path)
+        a = store.put(b"data")
+        b = store.put(b"data")
+        assert a == b
+        assert len(store) == 1
+
+    def test_get_missing_raises(self, tmp_path):
+        store = BlobStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.get("0" * 64)
+
+    def test_corrupt_blob_detected(self, tmp_path):
+        store = BlobStore(tmp_path)
+        digest = store.put(b"payload")
+        path = store._path(digest)
+        path.write_bytes(b"tampered")
+        with pytest.raises(StoreError):
+            store.get(digest)
+
+    def test_delete_and_totals(self, tmp_path):
+        store = BlobStore(tmp_path)
+        digest = store.put(b"xyz")
+        assert store.total_bytes() == 3
+        assert store.delete(digest)
+        assert digest not in store
+        assert not store.delete(digest)
+
+
+class TestCheckpointFraming:
+    def test_roundtrip(self):
+        blob = dump_checkpoint({"a": [1, 2]}, kind="test", meta={"k": 1})
+        header = read_header(blob)
+        assert header["kind"] == "test"
+        assert header["meta"] == {"k": 1}
+        assert load_checkpoint(blob, expect_kind="test") == {"a": [1, 2]}
+
+    def test_wrong_kind_rejected(self):
+        blob = dump_checkpoint(1, kind="alpha")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(blob, expect_kind="beta")
+
+    def test_bad_magic_rejected(self):
+        blob = dump_checkpoint(1, kind="t")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(b"NOTMAGIC" + blob[8:])
+
+    def test_truncated_payload_rejected(self):
+        blob = dump_checkpoint(list(range(100)), kind="t")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(blob[:-5])
+
+    def test_flipped_payload_bit_rejected(self):
+        blob = bytearray(dump_checkpoint(list(range(100)), kind="t"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CheckpointError):
+            load_checkpoint(bytes(blob))
+
+    def test_sets_pickle_canonically(self):
+        # Same values, different insertion histories: the canonical
+        # pickler must emit identical bytes, else content addressing
+        # would see two different "states" for one logical state.
+        grown = set()
+        for value in (9, 4, 7, 1, 8, 3):
+            grown.add(value)
+        grown.discard(9)
+        rebuilt = {1, 3, 4, 7, 8}
+        assert grown == rebuilt
+        a = dump_checkpoint(grown, kind="t")
+        b = dump_checkpoint(rebuilt, kind="t")
+        assert a == b
+        # and the restored object really is a set
+        assert load_checkpoint(a, expect_kind="t") == rebuilt
+
+
+class TestRunKey:
+    def test_deterministic_and_sensitive(self):
+        base = dict(kind="campaign", config={"x": 1}, seed=3,
+                    engine="wheel", snapshots_total=5)
+        key = run_key(**base)
+        assert key == run_key(**base)
+        assert key != run_key(**{**base, "seed": 4})
+        assert key != run_key(**{**base, "engine": "heap"})
+        assert key != run_key(**{**base, "config": {"x": 2}})
+
+    def test_campaign_key_resolves_engine(self):
+        config = LongitudinalConfig(seed=1, scale=0.002, snapshots=2)
+        assert campaign_key(config, None) == campaign_key(config, None)
+        run_id = campaign_run_id(campaign_key(config, None))
+        assert run_id.startswith("campaign-")
+
+
+class TestRunStore:
+    def _manifest(self, run_id="campaign-abc", key="k1"):
+        return RunManifest(
+            run_id=run_id, key=key, kind="campaign", seed=1,
+            engine="wheel", snapshots_total=2, config={"scenario": {}},
+        )
+
+    def test_manifest_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = self._manifest()
+        manifest.snapshots.append(
+            SnapshotRecord(index=0, when=10.0, digest="d" * 64)
+        )
+        store.save_manifest(manifest)
+        loaded = store.load_manifest("campaign-abc")
+        assert loaded == manifest
+        assert store.has_run("campaign-abc")
+        assert store.find_by_key("k1").run_id == "campaign-abc"
+        assert store.find_by_key("nope") is None
+
+    def test_index_written(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.save_manifest(self._manifest())
+        assert store.index_path.exists()
+        assert "campaign-abc" in store.index()
+
+    def test_gc_removes_only_unreferenced(self, tmp_path):
+        store = RunStore(tmp_path)
+        kept = store.put_blob(b"referenced")
+        dropped = store.put_blob(b"garbage")
+        manifest = self._manifest()
+        manifest.snapshots.append(
+            SnapshotRecord(index=0, when=1.0, digest=kept)
+        )
+        store.save_manifest(manifest)
+        dry = store.gc(dry_run=True)
+        assert dropped in dry["removed"] and kept not in dry["removed"]
+        assert dropped in store.blobs  # dry run deletes nothing
+        report = store.gc()
+        assert report["removed"] == [dropped]
+        assert kept in store.blobs and dropped not in store.blobs
+
+    def test_diff_reports_config_drift(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = self._manifest(run_id="campaign-a", key="ka")
+        b = self._manifest(run_id="campaign-b", key="kb")
+        b.seed = 2
+        b.config = {"scenario": {"seed": 2}}
+        store.save_manifest(a)
+        store.save_manifest(b)
+        report = store.diff("campaign-a", "campaign-b")
+        assert "seed" in report["fields"]
+        assert "scenario" in report["config"]
+
+    def test_invalid_run_id_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.load_manifest("../escape")
+
+
+class TestSimulatorSnapshot:
+    @pytest.mark.parametrize("engine", ["wheel", "heap"])
+    def test_restore_replays_identically(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        assert resolve_engine(None) == engine
+        original = ProtocolScenario(
+            ProtocolConfig(seed=31, n_reachable=10, n_responsive=4,
+                           n_silent=4, pre_mined_blocks=5),
+        )
+        assert original.sim.engine == engine
+        original.sim.run_for(120.0)
+        blob = original.sim.snapshot()
+        header = read_header(blob)
+        assert header["kind"] == "simulator"
+        assert header["meta"]["now"] == original.sim.now
+
+        restored = Simulator.restore(blob)
+        assert restored.engine == original.sim.engine
+        a = original.sim.run_for(600.0)
+        b = restored.run_for(600.0)
+        assert int(a) == int(b)
+        assert original.sim.now == restored.now
+        assert original.sim.scheduler.fired == restored.scheduler.fired
+
+    def test_restore_rejects_wrong_kind(self):
+        blob = dump_checkpoint({"not": "a simulator"}, kind="other")
+        with pytest.raises((CheckpointError, SimulationError)):
+            Simulator.restore(blob)
+
+    def test_snapshot_keeps_perf_recorder(self):
+        sim = Simulator(seed=1, perf=True)
+        assert sim.perf is not None
+        sim.snapshot()
+        # the recorder is excluded from the payload but must survive
+        # on the live simulator
+        assert sim.perf is not None
+        assert sim.scheduler.perf is sim.perf
+
+
+def _tiny_config(engine):
+    return LongitudinalConfig(
+        seed=13, scale=0.01, snapshots=3, campaign_days=1.0, engine=engine
+    )
+
+
+class TestStoredCampaign:
+    def test_cache_hit_skips_simulation(self, tmp_path):
+        config = _tiny_config("wheel")
+        first = run_stored_campaign(tmp_path, config)
+        assert not first.cached
+        assert first.manifest.status == "complete"
+        assert first.manifest.engine == "wheel"
+        second = run_stored_campaign(tmp_path, config)
+        assert second.cached
+        assert second.manifest.run_id == first.manifest.run_id
+        assert (
+            [len(s.connected) for s in second.result.snapshots]
+            == [len(s.connected) for s in first.result.snapshots]
+        )
+
+    def test_force_reexecutes(self, tmp_path):
+        config = _tiny_config("wheel")
+        run_stored_campaign(tmp_path, config)
+        again = run_stored_campaign(tmp_path, config, force=True)
+        assert not again.cached
+
+    def test_resume_wrong_config_rejected(self, tmp_path):
+        config = _tiny_config("wheel")
+        first = run_stored_campaign(tmp_path, config)
+        other = LongitudinalConfig(
+            seed=14, scale=0.01, snapshots=3, campaign_days=1.0,
+            engine="wheel",
+        )
+        with pytest.raises(StoreError):
+            run_stored_campaign(
+                tmp_path, other, resume=first.manifest.run_id
+            )
+
+    def test_manifest_records_per_snapshot_outputs(self, tmp_path):
+        config = _tiny_config("wheel")
+        stored = run_stored_campaign(tmp_path, config)
+        manifest = stored.manifest
+        assert manifest.completed_snapshots == 3
+        assert [s.index for s in manifest.snapshots] == [0, 1, 2]
+        whens = [s.when for s in manifest.snapshots]
+        assert whens == sorted(whens)
+        assert [s.when for s in stored.result.snapshots] == whens
+        store = RunStore(tmp_path)
+        for record in manifest.snapshots:
+            snap = load_checkpoint(
+                store.get_blob(record.digest), expect_kind="snapshot-result"
+            )
+            assert snap.index == record.index
+
+
+_CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.netmodel.scenario import LongitudinalConfig
+from repro.store import run_stored_campaign
+config = LongitudinalConfig(
+    seed=13, scale=0.01, snapshots=3, campaign_days=1.0, engine={engine!r}
+)
+run_stored_campaign({store!r}, config)
+"""
+
+
+def _run_child(store: Path, engine: str, crash_after=None) -> int:
+    env = dict(os.environ)
+    env.pop(CRASH_ENV, None)
+    if crash_after is not None:
+        env[CRASH_ENV] = str(crash_after)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    script = _CHILD_SCRIPT.format(src=src, engine=engine, store=str(store))
+    proc = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True,
+        text=True, timeout=600,
+    )
+    if crash_after is None and proc.returncode != 0:
+        raise AssertionError(f"child failed: {proc.stderr}")
+    return proc.returncode
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    """The acceptance pin: kill -9 mid-campaign, resume, compare."""
+
+    @pytest.mark.parametrize("engine", ["wheel", "heap"])
+    def test_resumed_run_is_bit_identical(self, tmp_path, engine):
+        from repro.core.export import export_campaign_series
+
+        interrupted = tmp_path / "interrupted"
+        uninterrupted = tmp_path / "uninterrupted"
+
+        # Child 1 hard-exits right after snapshot 0's checkpoint commits.
+        code = _run_child(interrupted, engine, crash_after=0)
+        assert code == CRASH_EXIT_CODE
+        store = RunStore(interrupted)
+        manifest = store.manifests()[0]
+        assert manifest.status == "running"
+        assert manifest.completed_snapshots == 1
+        assert manifest.checkpoint is not None
+
+        # Child 2 (same invocation) auto-resumes from the checkpoint.
+        assert _run_child(interrupted, engine) == 0
+        resumed = store.load_manifest(manifest.run_id)
+        assert resumed.status == "complete"
+        assert resumed.completed_snapshots == 3
+
+        # Child 3 runs the same campaign uninterrupted in a second store.
+        assert _run_child(uninterrupted, engine) == 0
+        fresh = RunStore(uninterrupted).load_manifest(manifest.run_id)
+
+        # Content addressing makes the comparison exact: every snapshot
+        # blob and the final result blob must hash identically.
+        assert [s.digest for s in resumed.snapshots] == [
+            s.digest for s in fresh.snapshots
+        ]
+        assert resumed.result_digest == fresh.result_digest
+
+        # And the user-facing artifact: byte-identical CSV exports.
+        result_resumed = run_stored_campaign(
+            interrupted, _child_config(engine)
+        )
+        result_fresh = run_stored_campaign(
+            uninterrupted, _child_config(engine)
+        )
+        assert result_resumed.cached and result_fresh.cached
+        path_a = export_campaign_series(
+            result_resumed.result, tmp_path / "a.csv"
+        )
+        path_b = export_campaign_series(
+            result_fresh.result, tmp_path / "b.csv"
+        )
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def _child_config(engine: str) -> LongitudinalConfig:
+    return LongitudinalConfig(
+        seed=13, scale=0.01, snapshots=3, campaign_days=1.0, engine=engine
+    )
