@@ -8,8 +8,6 @@ nodes' presence lines end before the campaign does; some lines reappear
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.reports import comparison_table
 from repro.netmodel import calibration as cal
 from repro.units import DAYS

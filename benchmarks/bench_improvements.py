@@ -123,7 +123,7 @@ def test_block_priority_reduces_relay_delay(benchmark):
 
 @pytest.mark.slow
 def test_improved_policies_raise_sync(benchmark):
-    from repro.core import SyncCampaignConfig, run_sync_campaign
+    from repro.core import SyncCampaignConfig
 
     def run():
         results = {}

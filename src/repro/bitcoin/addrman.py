@@ -23,7 +23,7 @@ bias, and uniform keeps selection O(1).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..simnet.addresses import NetAddr, TimestampedAddr

@@ -9,7 +9,7 @@ unknown is parked and connected when the parent arrives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ChainError

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..units import DAYS, KiB, MiB
+from ..units import DAYS, MiB
 
 # ---------------------------------------------------------------------------
 # Connection limits (paper §III-A, "Default Connection Limits")

@@ -16,8 +16,8 @@ download (INV/GETDATA/BLOCK/TX), the BIP152 compact-block path
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..simnet.addresses import NetAddr, TimestampedAddr
 from .blockchain import Block

@@ -13,7 +13,7 @@ something to chew on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import ScenarioError

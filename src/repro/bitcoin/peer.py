@@ -15,7 +15,7 @@ trickle timers, compact-block negotiation).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set
+from typing import Deque, Set
 
 from ..simnet.addresses import NetAddr
 from ..simnet.transport import Socket

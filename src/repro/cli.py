@@ -11,6 +11,7 @@ Commands
 ``relay``      the Fig. 10/11 relay-delay measurement
 ``conn``       the Fig. 6/7 connection experiments
 ``store``      inspect the run store (``ls`` / ``show`` / ``gc`` / ``diff``)
+``lint``       determinism & checkpoint-safety static analysis
 
 ``campaign --store DIR`` checkpoints the run into a content-addressed
 store after every snapshot; an interrupted run resumes from its last
@@ -511,6 +512,14 @@ def build_parser() -> argparse.ArgumentParser:
     store_diff.add_argument("run_b")
     _store_flag(store_diff)
     store_diff.set_defaults(func=_cmd_store_diff)
+
+    from .lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & checkpoint-safety static analyzer",
+    )
+    add_lint_arguments(lint)
 
     return parser
 

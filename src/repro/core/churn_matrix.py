@@ -12,7 +12,7 @@ Given per-snapshot sets of connected reachable addresses, build the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 import numpy as np
 

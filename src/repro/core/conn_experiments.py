@@ -17,7 +17,8 @@ a warmed-up protocol world whose address plane carries the measured
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..analysis.stats import Summary, summarize
@@ -25,7 +26,7 @@ from ..analysis.timeseries import Sampler, Series
 from ..errors import ScenarioError
 from ..bitcoin.config import NodeConfig
 from ..bitcoin.node import BitcoinNode
-from ..netmodel.scenario import ProtocolConfig, ProtocolScenario
+from ..netmodel.scenario import ProtocolScenario
 
 
 def _observer_config(base: Optional[NodeConfig] = None) -> NodeConfig:
@@ -65,7 +66,9 @@ def run_connection_stability(
         scenario.sim.run_for(observer_warmup)
     sampler = Sampler(
         scenario.sim,
-        lambda: observer.outbound_count_with_feelers,
+        # partial over getattr, not a lambda: the probe lands on the
+        # periodic task in the event queue and must stay picklable.
+        functools.partial(getattr, observer, "outbound_count_with_feelers"),
         period=poll_period,
         start_delay=poll_period,
     )

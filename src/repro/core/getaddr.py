@@ -28,7 +28,7 @@ from ..errors import ScenarioError
 from ..simnet.addresses import NetAddr
 from ..simnet.simulator import Simulator
 from ..simnet.transport import Socket
-from ..bitcoin.messages import Addr, GetAddr, Message, Verack, Version
+from ..bitcoin.messages import Addr, GetAddr, Message, Version
 
 
 @dataclass

@@ -23,14 +23,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..simnet.addresses import NetAddr
-from ..netmodel.population import NodeClass
 from ..netmodel.scenario import LongitudinalScenario
 from .addr_analysis import AddrComposition, composition
 from .churn_matrix import ChurnMatrix, ChurnStats, analyze, build_matrix
-from .crawler import AddressCrawler, CrawlInput, SourceStats
-from .getaddr import CrawlResult, GetAddrConfig, GetAddrCrawler
+from .crawler import AddressCrawler, SourceStats
+from .getaddr import GetAddrConfig, GetAddrCrawler
 from .malicious_detect import DetectionReport, detect_flooders, merge_reports
-from .prober import ProbeCampaignResult, ProbeConfig, VerProber
+from .prober import ProbeConfig, VerProber
 from .routing import HostingReport, hosting_report
 
 #: The measurement node's own address, outside every hosting profile.

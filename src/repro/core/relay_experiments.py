@@ -15,7 +15,8 @@ the queued traffic blocks sit behind.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..analysis.stats import Summary, summarize
@@ -159,6 +160,24 @@ def _make_client(
     return client
 
 
+def _refresh_one_client(
+    scenario: ProtocolScenario,
+    target: BitcoinNode,
+    config: RelayExperimentConfig,
+    clients: List[BitcoinNode],
+    rng,
+) -> None:
+    """Replace one random client with a fresh one (churn during relay)."""
+    victim = rng.choice(clients)
+    clients.remove(victim)
+    victim.stop()
+    fresh = _make_client(
+        scenario, target, config, unreachable=rng.random() < 0.5
+    )
+    fresh.start()
+    clients.append(fresh)
+
+
 def run_relay_experiment(
     config: Optional[RelayExperimentConfig] = None,
 ) -> RelayExperimentResult:
@@ -172,19 +191,15 @@ def run_relay_experiment(
 
     if config.client_refresh_interval > 0:
         refresh_rng = scenario.sim.random.stream("client-refresh")
-
-        def refresh_one_client() -> None:
-            victim = refresh_rng.choice(clients)
-            clients.remove(victim)
-            victim.stop()
-            fresh = _make_client(
-                scenario, target, config, unreachable=refresh_rng.random() < 0.5
-            )
-            fresh.start()
-            clients.append(fresh)
-
         scenario.sim.call_every(
-            config.client_refresh_interval, refresh_one_client
+            config.client_refresh_interval,
+            # partial over a module-level function, not a closure: the
+            # callback recurs on the event queue, so it must survive
+            # Simulator.snapshot().
+            functools.partial(
+                _refresh_one_client, scenario, target, config, clients,
+                refresh_rng,
+            ),
         )
 
     scenario.sim.run_for(config.warmup)

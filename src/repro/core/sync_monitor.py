@@ -10,7 +10,7 @@ analysis of §IV-D).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..analysis.timeseries import Series

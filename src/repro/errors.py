@@ -56,5 +56,9 @@ class StoreError(ReproError):
     """A run-store failure (missing blob, corrupt manifest, bad key)."""
 
 
+class LintError(ReproError):
+    """A static-analysis failure (bad config, unreadable baseline)."""
+
+
 class CheckpointError(StoreError):
     """A checkpoint payload is corrupt, truncated, or of the wrong kind."""

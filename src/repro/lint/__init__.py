@@ -1,0 +1,48 @@
+"""``repro lint`` — determinism & checkpoint-safety static analysis.
+
+The simulator's two core guarantees — seed-stable runs and bit-identical
+kill-and-resume checkpoints — are invariants of *how the code is
+written*, not just of what it computes: a single ``time.time()`` in a
+simulation path, one iteration over an unsorted ``set``, or a ``lambda``
+landing on the event queue silently breaks them.  The runtime tests
+catch such regressions after the fact; this package catches them at
+review time, from the AST.
+
+Rule catalog
+------------
+========  ==========================================================
+DET001    unseeded global RNG (``random.*`` / ``numpy.random`` module
+          functions) instead of an injected ``sim.random.stream``
+DET002    wall-clock reads (``time.time``, ``datetime.now``, ...)
+          outside the allowlisted store/perf boundary
+DET003    ordering-sensitive iteration over ``set`` / ``frozenset``
+DET004    ``id()`` / ``hash()`` as tie-breakers or keys
+PICK001   ``lambda`` / nested-``def`` callbacks on the event queue or
+          stored on snapshot-reachable objects
+========  ==========================================================
+
+Findings are suppressed per line (``# repro-lint: disable=DET002``),
+per file (``# repro-lint: disable-file=DET002``), or grandfathered in a
+committed baseline file; CI enforces a no-new-violations policy.
+"""
+
+from .baseline import Baseline, BaselineEntry, fingerprint
+from .config import LintConfig, load_config
+from .engine import LintResult, lint_paths
+from .findings import Finding, Severity
+from .rules import RULES, all_rules, get_rule
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Severity",
+    "all_rules",
+    "fingerprint",
+    "get_rule",
+    "lint_paths",
+    "load_config",
+]

@@ -1,0 +1,163 @@
+"""Grandfathered findings: the no-new-violations baseline.
+
+A baseline entry is ``(path, code, fingerprint)`` where the fingerprint
+hashes the *stripped source line text* rather than the line number — so
+unrelated edits that shift a grandfathered violation up or down do not
+resurrect it, while any edit to the offending line itself (including
+fixing it) invalidates the entry.
+
+Matching is count-aware: two identical violations on identical lines
+need two baseline entries.  Entries that no longer match anything are
+*stale*; they are reported (the violation was fixed — the baseline
+should shrink) and dropped by ``repro lint --update-baseline``.  The
+policy CI enforces is therefore monotone: the baseline only ever
+shrinks, and new violations can never hide in it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import LintError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(path: str, code: str, source_line: str) -> str:
+    """Stable identity of one violation, independent of line numbers."""
+    digest = hashlib.sha256(
+        f"{path}\x00{code}\x00{source_line.strip()}".encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    code: str
+    fingerprint: str
+    #: Line and message at the time the entry was recorded — purely
+    #: informational, so a human can find the grandfathered site.
+    line: int = 0
+    message: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.code, self.fingerprint)
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of comparing current findings against a baseline."""
+
+    new: List[Finding]
+    baselined: List[Finding]
+    stale: List[BaselineEntry]
+
+
+class Baseline:
+    """A committed list of grandfathered findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise LintError(f"corrupt baseline file {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"baseline file {path} has unsupported version "
+                f"{data.get('version')!r} (this build reads "
+                f"{BASELINE_VERSION})"
+            )
+        entries = []
+        for raw in data.get("findings", []):
+            entries.append(
+                BaselineEntry(
+                    path=raw["path"],
+                    code=raw["code"],
+                    fingerprint=raw["fingerprint"],
+                    line=raw.get("line", 0),
+                    message=raw.get("message", ""),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "path": entry.path,
+                    "code": entry.code,
+                    "fingerprint": entry.fingerprint,
+                    "line": entry.line,
+                    "message": entry.message,
+                }
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            [
+                BaselineEntry(
+                    path=finding.path,
+                    code=finding.code,
+                    fingerprint=fingerprint(
+                        finding.path, finding.code, finding.source_line
+                    ),
+                    line=finding.line,
+                    message=finding.message,
+                )
+                for finding in findings
+            ]
+        )
+
+    def match(self, findings: Sequence[Finding]) -> BaselineMatch:
+        """Split findings into new vs grandfathered, and find stale entries."""
+        budget: Counter = Counter(entry.key for entry in self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = (
+                finding.path,
+                finding.code,
+                fingerprint(finding.path, finding.code, finding.source_line),
+            )
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale: List[BaselineEntry] = []
+        remaining: Dict[Tuple[str, str, str], int] = dict(budget)
+        for entry in self.entries:
+            if remaining.get(entry.key, 0) > 0:
+                remaining[entry.key] -= 1
+                stale.append(entry)
+        return BaselineMatch(new=new, baselined=baselined, stale=stale)
+
+    def __len__(self) -> int:
+        return len(self.entries)

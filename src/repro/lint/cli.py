@@ -1,0 +1,125 @@
+"""CLI glue for ``repro lint``.
+
+Exit codes: 0 — clean (or every finding baselined / info-severity);
+1 — new error- or warning-severity findings, or unparseable files;
+2 — usage or configuration problems (bad rule code, corrupt baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import textwrap
+from pathlib import Path
+from typing import Optional
+
+from ..errors import LintError
+from .baseline import Baseline
+from .config import load_config
+from .engine import lint_paths, render_text
+from .rules import RULES, get_rule
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` options to an argparse parser."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: [tool.repro-lint] "
+        "paths, i.e. src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=str, default=None, metavar="FILE",
+        help="baseline file (default: from pyproject, "
+        "repro-lint.baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--explain", type=str, default=None, metavar="CODE",
+        help="print one rule's full rationale and exit",
+    )
+    parser.set_defaults(func=run_from_args)
+
+
+def _print_catalog() -> None:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        print(f"{code}  [{rule.default_severity:7}] {rule.summary}")
+
+
+def _print_explanation(code: str) -> None:
+    rule = get_rule(code)
+    print(f"{rule.code} ({rule.name}) — default severity: "
+          f"{rule.default_severity}")
+    print(f"  {rule.summary}")
+    print()
+    print(textwrap.fill(rule.rationale, width=76, initial_indent="  ",
+                        subsequent_indent="  "))
+    print()
+    print(f"  suppress with: # repro-lint: disable={rule.code}  (rationale)")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    try:
+        return _run(args)
+    except LintError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_catalog()
+        return 0
+    if args.explain is not None:
+        _print_explanation(args.explain)
+        return 0
+
+    config = load_config()
+    paths = args.paths if args.paths else list(config.paths)
+
+    baseline_path: Optional[Path]
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = config.baseline_path()
+
+    if args.update_baseline:
+        result = lint_paths(paths, config, baseline=None)
+        if result.parse_errors:
+            for path, error in result.parse_errors:
+                print(f"{path}: cannot lint: {error}")
+            return 1
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"wrote {len(result.findings)} grandfathered finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+    result = lint_paths(paths, config, baseline=baseline)
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 1 if result.failed else 0

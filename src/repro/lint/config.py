@@ -1,0 +1,154 @@
+"""Lint configuration, loaded from ``[tool.repro-lint]`` in pyproject.toml.
+
+The config answers three questions the rules cannot answer from the AST
+alone: *which* files are linted by default, *where* the wall-clock
+boundary lies (DET002's allowlist), and how severe each rule is in this
+repository.  Everything has a working default so ``repro lint`` runs
+usefully even without a pyproject section (or on Python < 3.11 where
+``tomllib`` is unavailable).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..errors import LintError
+
+try:  # Python >= 3.11; older interpreters fall back to defaults.
+    import tomllib
+except ImportError:  # pragma: no cover - version-dependent
+    tomllib = None  # type: ignore[assignment]
+
+
+class LintConfigError(LintError):
+    """Raised for malformed ``[tool.repro-lint]`` tables."""
+
+
+DEFAULT_BASELINE = "repro-lint.baseline.json"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective lint settings for one run."""
+
+    #: Paths linted when the CLI is invoked without positional paths.
+    paths: Tuple[str, ...] = ("src",)
+    #: Baseline file, relative to the config root.
+    baseline: str = DEFAULT_BASELINE
+    #: Path prefixes where DET002 (wall-clock reads) is allowed.  The
+    #: perf recorder *measures* wall time by design; it is the canonical
+    #: member of this list.
+    clock_allowlist: Tuple[str, ...] = ("src/repro/perf",)
+    #: Rule codes disabled outright.
+    disable: Tuple[str, ...] = ()
+    #: Per-rule severity overrides (code -> severity).
+    severity: Dict[str, str] = field(default_factory=dict)
+    #: Directory the config was loaded from (resolves the baseline).
+    root: Optional[str] = None
+
+    def baseline_path(self) -> Path:
+        base = Path(self.baseline)
+        if base.is_absolute() or self.root is None:
+            return base
+        return Path(self.root) / base
+
+    def severity_for(self, code: str, default: str) -> str:
+        return self.severity.get(code, default)
+
+    def rule_enabled(self, code: str) -> bool:
+        return code not in self.disable
+
+    def clock_allowlisted(self, path: str) -> bool:
+        """Whether ``path`` (repo-relative) sits inside the clock boundary."""
+        norm = normalize_path(path)
+        for prefix in self.clock_allowlist:
+            pref = normalize_path(prefix)
+            if norm == pref or norm.startswith(pref + "/"):
+                return True
+        return False
+
+
+def normalize_path(path: str) -> str:
+    """Forward-slashed, ``./``-free form used for all path comparisons."""
+    norm = posixpath.normpath(str(path).replace("\\", "/"))
+    return norm[2:] if norm.startswith("./") else norm
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """The nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _as_str_tuple(table: dict, key: str, where: str) -> Optional[Tuple[str, ...]]:
+    if key not in table:
+        return None
+    value = table[key]
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintConfigError(f"{where}.{key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(start: Optional[Path] = None) -> LintConfig:
+    """Load the config for the tree containing ``start`` (default: cwd).
+
+    Missing pyproject, missing ``[tool.repro-lint]`` table, or a Python
+    without ``tomllib`` all yield the defaults; a *malformed* table is
+    an error — silently ignoring a typo'd config would un-gate CI.
+    """
+    start = start if start is not None else Path.cwd()
+    pyproject = find_pyproject(start)
+    if pyproject is None:
+        return LintConfig()
+    config = LintConfig(root=str(pyproject.parent))
+    if tomllib is None:  # pragma: no cover - version-dependent
+        return config
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise LintConfigError(f"cannot parse {pyproject}: {exc}") from exc
+    table = data.get("tool", {}).get("repro-lint")
+    if table is None:
+        return config
+    if not isinstance(table, dict):
+        raise LintConfigError("[tool.repro-lint] must be a table")
+    where = "[tool.repro-lint]"
+    paths = _as_str_tuple(table, "paths", where)
+    if paths is not None:
+        config = replace(config, paths=paths)
+    allow = _as_str_tuple(table, "clock-allowlist", where)
+    if allow is not None:
+        config = replace(config, clock_allowlist=allow)
+    disable = _as_str_tuple(table, "disable", where)
+    if disable is not None:
+        config = replace(config, disable=disable)
+    baseline = table.get("baseline")
+    if baseline is not None:
+        if not isinstance(baseline, str):
+            raise LintConfigError(f"{where}.baseline must be a string")
+        config = replace(config, baseline=baseline)
+    severity = table.get("severity")
+    if severity is not None:
+        if not isinstance(severity, dict):
+            raise LintConfigError(f"{where}.severity must be a table")
+        from .findings import Severity
+
+        checked: Dict[str, str] = {}
+        for code, level in severity.items():
+            if not isinstance(level, str) or level not in Severity.ALL:
+                raise LintConfigError(
+                    f"{where}.severity.{code} must be one of "
+                    f"{', '.join(Severity.ALL)}"
+                )
+            checked[str(code)] = level
+        config = replace(config, severity=checked)
+    return config

@@ -1,0 +1,207 @@
+"""The lint engine: file discovery, the two analysis passes, filtering.
+
+:func:`lint_paths` is the library entry point the CLI and tests share.
+It walks the requested paths, builds the project-wide set-attribute
+table (pass 0), analyses every file (passes 1 and 2 from
+:mod:`repro.lint.visitor`), applies suppression comments, then matches
+the survivors against the baseline.  The result carries everything a
+front-end needs to render text or JSON and to compute an exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, BaselineMatch
+from .config import LintConfig, normalize_path
+from .findings import Finding, Severity, sort_findings
+from .rules import all_rules
+from .suppressions import parse_suppressions
+from .visitor import FileContext, FileFacts, collect_facts, run_rules
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hg", "node_modules"})
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    #: All unsuppressed findings, sorted.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings not covered by the baseline (these gate CI).
+    new_findings: List[Finding] = field(default_factory=list)
+    #: Findings absorbed by the baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (fixed violations).
+    stale_baseline: List[str] = field(default_factory=list)
+    #: Files that could not be parsed, with the reason.
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: Diagnostics (unknown suppression codes etc.), per file.
+    diagnostics: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """Whether this run should exit non-zero."""
+        if self.parse_errors:
+            return True
+        return any(
+            Severity.fails(finding.severity) for finding in self.new_findings
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "new_findings": [f.to_dict() for f in self.new_findings],
+            "baselined_findings": [f.to_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "parse_errors": [
+                {"path": path, "error": error}
+                for path, error in self.parse_errors
+            ],
+            "diagnostics": list(self.diagnostics),
+            "failed": self.failed,
+        }
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                found.append(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.append(candidate)
+    return sorted(set(found), key=lambda p: normalize_path(str(p)))
+
+
+def _relative_label(path: Path, root: Optional[str]) -> str:
+    """The repo-relative label findings and baselines use for ``path``."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return normalize_path(str(resolved.relative_to(Path(root).resolve())))
+        except ValueError:
+            pass
+    try:
+        return normalize_path(str(resolved.relative_to(Path.cwd())))
+    except ValueError:
+        return normalize_path(str(path))
+
+
+def _parse(path: Path) -> Tuple[Optional[ast.AST], Optional[str], List[str]]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, str(exc), []
+    lines = source.splitlines()
+    try:
+        return ast.parse(source, filename=str(path)), None, lines
+    except SyntaxError as exc:
+        return None, f"syntax error: {exc.msg} (line {exc.lineno})", lines
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint ``paths`` and compare against ``baseline`` (None: skip)."""
+    config = config if config is not None else LintConfig()
+    result = LintResult()
+    files = iter_python_files([Path(p) for p in paths])
+
+    # Pass 0: facts for every file, then the project-wide table of
+    # attribute names known to hold sets (so `peer.known_addrs` is
+    # recognized in node.py even though Peer lives in peer.py).
+    parsed: List[Tuple[Path, str, ast.AST, List[str], FileFacts]] = []
+    attr_names: set = set()
+    for path in files:
+        label = _relative_label(path, config.root)
+        tree, error, lines = _parse(path)
+        if tree is None:
+            result.parse_errors.append((label, error or "unreadable"))
+            continue
+        facts = collect_facts(tree)
+        attr_names |= facts.set_attr_names
+        parsed.append((path, label, tree, lines, facts))
+    global_set_attrs: FrozenSet[str] = frozenset(attr_names)
+
+    known_codes = [rule.code for rule in all_rules()]
+    all_findings: List[Finding] = []
+    for path, label, tree, lines, facts in parsed:
+        ctx = FileContext(
+            path=label,
+            lines=lines,
+            facts=facts,
+            global_set_attrs=global_set_attrs,
+            clock_allowlisted=config.clock_allowlisted(label),
+        )
+        rules = all_rules(config.severity, config.disable)
+        findings = run_rules(tree, ctx, rules)
+        suppressions = parse_suppressions(lines, known_codes)
+        for note in suppressions.unknown_codes:
+            result.diagnostics.append(f"{label}: {note}")
+        all_findings.extend(
+            finding
+            for finding in findings
+            if not suppressions.suppressed(finding.line, finding.code)
+        )
+        result.files_checked += 1
+
+    result.findings = sort_findings(all_findings)
+    if baseline is None:
+        result.new_findings = list(result.findings)
+        return result
+    match: BaselineMatch = baseline.match(result.findings)
+    result.new_findings = sort_findings(match.new)
+    result.baselined = sort_findings(match.baselined)
+    result.stale_baseline = [
+        f"{entry.path}:{entry.line}: {entry.code} {entry.message} "
+        f"[{entry.fingerprint}]"
+        for entry in match.stale
+    ]
+    return result
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report."""
+    lines: List[str] = []
+    for path, error in result.parse_errors:
+        lines.append(f"{path}: cannot lint: {error}")
+    for finding in result.new_findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.render()} (baselined)")
+    for note in result.diagnostics:
+        lines.append(f"note: {note}")
+    for stale in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry (violation fixed — run "
+            f"--update-baseline): {stale}"
+        )
+    counts: Dict[str, int] = {}
+    for finding in result.new_findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    summary = ", ".join(
+        f"{code}: {count}" for code, count in sorted(counts.items())
+    )
+    lines.append(
+        f"checked {result.files_checked} file(s): "
+        f"{len(result.new_findings)} new finding(s)"
+        + (f" ({summary})" if summary else "")
+        + (
+            f", {len(result.baselined)} baselined"
+            if result.baselined
+            else ""
+        )
+    )
+    return "\n".join(lines)

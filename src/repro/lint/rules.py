@@ -1,0 +1,303 @@
+"""The rule catalog.
+
+Each rule is a :class:`~repro.lint.visitor.Rule` subclass registered in
+:data:`RULES`.  Rules are pure event consumers: the traversal and name
+resolution live in :mod:`repro.lint.visitor`, so a rule is only its
+policy — what resolved names or shapes are hazards, and what to say
+about them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Type
+
+from ..errors import LintError
+from .findings import Severity
+from .visitor import FileContext, Rule
+
+#: Wall-clock reads that leak host time into simulation state.
+WALL_CLOCK_NAMES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random constructors that are fine *when given a seed*.
+_NUMPY_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "RandomState",
+        "Generator",
+        "SeedSequence",
+        "PCG64",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    """DET001: module-level RNG draws bypass the seeded streams."""
+
+    code = "DET001"
+    name = "unseeded-global-rng"
+    summary = (
+        "call to the global random/numpy.random state instead of an "
+        "injected sim.random.stream"
+    )
+    default_severity = Severity.ERROR
+    rationale = (
+        "Module-level random functions share one hidden global state: any "
+        "draw anywhere perturbs every later draw, so adding a log line can "
+        "change a simulation's entire trajectory, and two runs with the "
+        "same master seed stop agreeing.  Every stochastic component must "
+        "draw from its own named stream (sim.random.stream(name)) derived "
+        "from the master seed; see repro.simnet.rand."
+    )
+
+    def on_call(self, ctx: FileContext, node: ast.Call, resolved: str) -> None:
+        has_args = bool(node.args or node.keywords)
+        if resolved.startswith("random."):
+            member = resolved.split(".", 1)[1]
+            if member == "Random":
+                if not has_args:
+                    self.report(
+                        ctx, node,
+                        "random.Random() without a seed argument",
+                        "derive the seed with repro.simnet.rand.derive_seed "
+                        "or use sim.random.stream(name)",
+                    )
+                return
+            if member == "SystemRandom":
+                self.report(
+                    ctx, node,
+                    "random.SystemRandom draws OS entropy and can never "
+                    "be reproduced",
+                    "use sim.random.stream(name)",
+                )
+                return
+            self.report(
+                ctx, node,
+                f"call to global random.{member}",
+                "draw from an injected sim.random.stream(name) instead",
+            )
+        elif resolved.startswith("numpy.random."):
+            member = resolved.split(".", 2)[2]
+            if member in _NUMPY_SEEDED_CONSTRUCTORS:
+                if not has_args:
+                    self.report(
+                        ctx, node,
+                        f"numpy.random.{member}() without a seed",
+                        "pass a seed derived from the master seed "
+                        "(repro.simnet.rand.derive_seed)",
+                    )
+                return
+            self.report(
+                ctx, node,
+                f"call to global numpy.random.{member}",
+                "use a seeded numpy Generator (numpy.random.default_rng"
+                "(derive_seed(...))) or sim.random.stream(name)",
+            )
+
+
+class WallClockRule(Rule):
+    """DET002: wall-clock reads outside the store/perf boundary."""
+
+    code = "DET002"
+    name = "wall-clock-read"
+    summary = (
+        "wall-clock read (time.time, datetime.now, ...) outside the "
+        "allowlisted store/perf boundary"
+    )
+    default_severity = Severity.ERROR
+    rationale = (
+        "Simulation code must read time from the scenario clock (sim.now / "
+        "SimClock), which only the event scheduler advances.  A host clock "
+        "read makes output depend on machine speed and run date, breaks "
+        "bit-identical kill-and-resume checkpoints, and invalidates "
+        "longitudinal comparisons.  Host timestamps are legitimate only as "
+        "provenance metadata (store manifests, via repro.store.wallclock) "
+        "and perf instrumentation (repro.perf) — both outside sim state."
+    )
+
+    def on_reference(
+        self, ctx: FileContext, node: ast.AST, resolved: str
+    ) -> None:
+        if ctx.clock_allowlisted or resolved not in WALL_CLOCK_NAMES:
+            return
+        self.report(
+            ctx, node,
+            f"wall-clock read {resolved}",
+            "use the scenario clock (sim.now) in simulation code, or "
+            "repro.store.wallclock.now for provenance timestamps",
+        )
+
+
+class SetIterationRule(Rule):
+    """DET003: ordering-sensitive iteration over sets."""
+
+    code = "DET003"
+    name = "unordered-set-iteration"
+    summary = "order-sensitive iteration over a set/frozenset"
+    default_severity = Severity.ERROR
+    rationale = (
+        "A set's iteration order depends on its insertion history and, for "
+        "str keys, on interpreter hash randomization — so the same logical "
+        "state can replay events in a different order after a checkpoint "
+        "restore or across hosts.  This is exactly the hazard the store's "
+        "canonical pickler neutralizes at serialization time; in live "
+        "simulation and export paths it must be neutralized at the source: "
+        "iterate sorted(s), or consume the set with an order-insensitive "
+        "reduction (len, sum, min, max, any, all, set arithmetic)."
+    )
+
+    def on_iteration(
+        self, ctx: FileContext, node: ast.AST, iter_node: ast.AST, context: str
+    ) -> None:
+        self.report(
+            ctx, node,
+            f"iteration over a set in a {context}",
+            "wrap the set in sorted(...) or restructure into an "
+            "order-insensitive reduction",
+        )
+
+    def on_set_pop(self, ctx: FileContext, node: ast.Call) -> None:
+        self.report(
+            ctx, node,
+            "set.pop() removes an arbitrary (order-dependent) element",
+            "pop from sorted(...) or use an explicit deterministic choice",
+        )
+
+
+class IdentityHashRule(Rule):
+    """DET004: object identity as ordering or keying material."""
+
+    code = "DET004"
+    name = "identity-as-key"
+    summary = "id()/hash() used where a stable key is required"
+    default_severity = Severity.ERROR
+    rationale = (
+        "id() is a memory address: it differs between runs and is never "
+        "preserved across a checkpoint restore, so id-based tie-breakers "
+        "or map keys replay differently.  Builtin hash() is salted per "
+        "interpreter for str/bytes (PYTHONHASHSEED).  Scheduling "
+        "tie-breakers must use explicit sequence numbers (as the event "
+        "queue's (time, seq) ordering does) and keys must be stable "
+        "domain identifiers (addresses, txids, names)."
+    )
+
+    # A reference hook, not a call hook: the hazard usually appears as a
+    # bare ``key=id`` / ``key=hash`` tie-breaker, which is never a Call.
+    def on_reference(
+        self, ctx: FileContext, node: ast.AST, resolved: str
+    ) -> None:
+        if resolved == "id":
+            self.report(
+                ctx, node,
+                "id() of an object is not stable across runs or restores",
+                "key or order by a stable domain identifier instead",
+            )
+        elif resolved == "hash":
+            self.report(
+                ctx, node,
+                "builtin hash() is salted per interpreter run for "
+                "str/bytes keys",
+                "use hashlib (as repro.simnet.rand.derive_seed does) or a "
+                "stable domain identifier",
+            )
+
+
+class QueueLambdaRule(Rule):
+    """PICK001: unpicklable callbacks reachable from a snapshot."""
+
+    code = "PICK001"
+    name = "unpicklable-callback"
+    summary = (
+        "lambda or nested function scheduled on the event queue or stored "
+        "on an object"
+    )
+    default_severity = Severity.ERROR
+    rationale = (
+        "Simulator.snapshot() pickles the live event queue and everything "
+        "its callbacks reach.  Lambdas and nested functions cannot be "
+        "pickled, so one of them on the queue (or stored on any "
+        "snapshot-reachable object) turns every checkpoint attempt into a "
+        "PicklingError at the worst possible moment — mid-campaign.  "
+        "Callbacks must be module-level functions, bound methods, or "
+        "functools.partial over those."
+    )
+
+    def on_schedule_callback(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        arg: ast.AST,
+        kind: str,
+        method: str,
+    ) -> None:
+        what = "lambda" if kind == "lambda" else "nested function"
+        self.report(
+            ctx, arg,
+            f"{what} passed to .{method}() ends up on the event queue and "
+            f"breaks Simulator.snapshot()",
+            "use a bound method or functools.partial over a module-level "
+            "function",
+        )
+
+    def on_lambda_attr(
+        self, ctx: FileContext, node: ast.AST, target: str
+    ) -> None:
+        self.report(
+            ctx, node,
+            f"lambda stored on self.{target} makes the object unpicklable",
+            "store a bound method or functools.partial instead",
+        )
+
+
+#: Registered rules, by code.
+RULES: Dict[str, Type[Rule]] = {
+    rule.code: rule
+    for rule in (
+        UnseededRandomRule,
+        WallClockRule,
+        SetIterationRule,
+        IdentityHashRule,
+        QueueLambdaRule,
+    )
+}
+
+
+def get_rule(code: str) -> Type[Rule]:
+    try:
+        return RULES[code]
+    except KeyError:
+        raise LintError(
+            f"unknown rule code {code!r} (known: {', '.join(sorted(RULES))})"
+        ) from None
+
+
+def all_rules(
+    severity_overrides: Optional[Dict[str, str]] = None,
+    disable: tuple = (),
+) -> List[Rule]:
+    """Instantiate every enabled rule with effective severities."""
+    overrides = severity_overrides or {}
+    return [
+        rule_cls(overrides.get(code))
+        for code, rule_cls in sorted(RULES.items())
+        if code not in disable
+    ]

@@ -1,0 +1,88 @@
+"""Per-line and per-file suppression comments.
+
+Two forms, modelled on pylint's but with this tool's name so the two
+cannot collide::
+
+    x = time.time()  # repro-lint: disable=DET002  (why it is safe here)
+    # repro-lint: disable-file=DET002,DET004
+
+A bare ``disable`` (no ``=CODE`` list) silences every rule for that
+line.  ``disable-file`` may appear on any line and applies to the whole
+file — by convention it sits in the module docstring region with a
+rationale next to it.  Suppressions apply to the line a finding is
+*reported* on (a statement's first line); trailing text after the code
+list is free-form rationale and ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)"
+    r"(?:\s*=\s*(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+)
+
+#: Sentinel meaning "every rule code".
+ALL_CODES = "*"
+
+
+@dataclass
+class SuppressionMap:
+    """Parsed suppression directives for one file."""
+
+    #: line number (1-based) -> codes disabled on that line.
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: codes disabled for the entire file.
+    file_wide: FrozenSet[str] = frozenset()
+    #: directives whose codes matched no known rule (surfaced as
+    #: diagnostics so a typo'd suppression cannot silently rot).
+    unknown_codes: List[str] = field(default_factory=list)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        if ALL_CODES in self.file_wide or code in self.file_wide:
+            return True
+        codes = self.by_line.get(line)
+        if codes is None:
+            return False
+        return ALL_CODES in codes or code in codes
+
+
+def parse_suppressions(
+    source_lines: Sequence[str], known_codes: Sequence[str] = ()
+) -> SuppressionMap:
+    """Scan raw source lines for ``repro-lint`` directives.
+
+    A regex scan (rather than the tokenizer) deliberately also matches
+    directives inside strings; the cost is a pathological false
+    suppression nobody writes, the benefit is that the scan cannot fail
+    on source the AST parser already accepted.
+    """
+    suppressions = SuppressionMap()
+    file_wide: Set[str] = set()
+    known = set(known_codes)
+    for lineno, text in enumerate(source_lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        for match in _DIRECTIVE.finditer(text):
+            raw = match.group("codes")
+            if raw is None:
+                codes = {ALL_CODES}
+            else:
+                codes = {part.strip() for part in raw.split(",") if part.strip()}
+                if known:
+                    for code in sorted(codes - known - {ALL_CODES}):
+                        suppressions.unknown_codes.append(
+                            f"line {lineno}: unknown rule code {code!r} "
+                            f"in suppression"
+                        )
+            if match.group("kind") == "disable-file":
+                file_wide |= codes
+            else:
+                merged = set(suppressions.by_line.get(lineno, frozenset()))
+                merged |= codes
+                suppressions.by_line[lineno] = frozenset(merged)
+    suppressions.file_wide = frozenset(file_wide)
+    return suppressions

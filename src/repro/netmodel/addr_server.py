@@ -15,13 +15,13 @@ experiments measure *address content*, not queueing delay.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..simnet.addresses import NetAddr, TimestampedAddr
 from ..simnet.simulator import Simulator
 from ..simnet.transport import Socket
 from ..bitcoin import config as cfg
-from ..bitcoin.messages import Addr, GetAddr, Message, Verack, Version
+from ..bitcoin.messages import Addr, Message, Verack, Version
 
 
 class AddrServer:

@@ -22,7 +22,7 @@ Two representations serve the two scenario fidelities:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ScenarioError

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..errors import ScenarioError
 from ..simnet.addresses import DEFAULT_PORT, NetAddr

@@ -25,15 +25,14 @@ preserves.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..errors import ScenarioError
 from ..simnet.addresses import NetAddr
 from ..simnet.simulator import Simulator
-from ..units import DAYS, HOURS
-from ..bitcoin.config import NodeConfig, PolicyConfig
+from ..units import DAYS
+from ..bitcoin.config import NodeConfig
 from ..bitcoin.mining import MiningProcess, TransactionGenerator
 from ..bitcoin.node import BitcoinNode
 from . import calibration as cal
@@ -48,7 +47,7 @@ from .churn import (
 )
 from .malicious import FloodVolumeModel, MaliciousAddrServer, plant_flooders
 from .nat import NatModel
-from .population import NodeClass, NodeRecord, Population, PopulationConfig
+from .population import NodeRecord, Population, PopulationConfig
 from .seeds import AddressOracles, DnsSeeder, SeedViewConfig
 
 

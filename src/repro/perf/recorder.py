@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 
 def perf_enabled_by_env() -> bool:

@@ -30,7 +30,6 @@ checkpoint is durably recorded — the honest moral equivalent of
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -50,6 +49,7 @@ from .manifest import (
     run_key,
 )
 from .runstore import RunStore
+from .wallclock import now as wall_now
 
 #: Test/CI hook: hard-exit after this snapshot index is durably stored.
 CRASH_ENV = "REPRO_CRASH_AFTER_SNAPSHOT"
@@ -247,7 +247,7 @@ def run_stored_campaign(
             manifest.checkpoint = CheckpointRecord(
                 digest=ckpt_digest, snapshot_index=index
             )
-        manifest.updated_at = time.time()
+        manifest.updated_at = wall_now()
         store.save_manifest(manifest)
         if crash_index is not None and index >= crash_index:
             os._exit(CRASH_EXIT_CODE)
@@ -260,7 +260,7 @@ def run_stored_campaign(
         dump_checkpoint(result, kind=_RESULT_KIND)
     )
     manifest.status = STATUS_COMPLETE
-    manifest.updated_at = time.time()
+    manifest.updated_at = wall_now()
     store.save_manifest(manifest)
     return StoredCampaign(
         manifest=manifest,

@@ -19,12 +19,12 @@ from __future__ import annotations
 import dataclasses
 import json
 import subprocess
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..errors import StoreError
+from . import wallclock
 
 #: Bump on incompatible manifest schema changes.
 MANIFEST_FORMAT = 1
@@ -125,8 +125,10 @@ class RunManifest:
     config: Dict[str, Any]
     status: str = STATUS_RUNNING
     code_version: str = "unknown"
-    created_at: float = field(default_factory=time.time)
-    updated_at: float = field(default_factory=time.time)
+    # Provenance only — stamped through the injectable store clock and
+    # excluded from run keys and result digests.
+    created_at: float = field(default_factory=wallclock.now)
+    updated_at: float = field(default_factory=wallclock.now)
     snapshots: List[SnapshotRecord] = field(default_factory=list)
     checkpoint: Optional[CheckpointRecord] = None
     result_digest: Optional[str] = None

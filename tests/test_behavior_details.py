@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bitcoin import NodeConfig, Transaction
-from repro.bitcoin.messages import Addr, GetAddr
-from repro.netmodel import ProtocolConfig, ProtocolScenario
+from repro.bitcoin import Transaction
+from repro.bitcoin.messages import Addr
+from repro.netmodel import ProtocolConfig
 from repro.netmodel import calibration as cal
 from repro.simnet import TimestampedAddr
 from repro.units import DAYS

@@ -4,12 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bitcoin import BitcoinNode, Block, NodeConfig, unreachable_config
+from repro.bitcoin import NodeConfig, unreachable_config
 from repro.bitcoin.messages import Verack, Version
 from repro.netmodel import ProtocolConfig, ProtocolScenario
 from repro.netmodel.churn import ChurnProcess
 from repro.errors import ScenarioError
-from repro.simnet import Simulator
 
 from .conftest import build_small_network, make_addr, make_node
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bitcoin import NodeConfig
 from repro.core import (
     RelayExperimentConfig,
     SyncCampaignConfig,

@@ -10,7 +10,6 @@ import pytest
 from repro.cli import build_parser, main
 from repro.core import export
 from repro.core.churn_matrix import ChurnStats
-from repro.core.getaddr import CrawlResult, PeerHarvest
 from repro.core.malicious_detect import DetectionReport, MaliciousFinding
 from repro.core.relay_experiments import RelayExperimentResult
 from repro.core.routing import hosting_report

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bitcoin import Block, MiningProcess, NodeConfig
+from repro.bitcoin import Block, MiningProcess
 from repro.netmodel import ProtocolConfig, ProtocolScenario
 
 from .conftest import build_small_network, make_node

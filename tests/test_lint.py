@@ -1,0 +1,567 @@
+"""Tests for ``repro lint``: rules, suppressions, baseline, CLI gate.
+
+The fixture tests write small known-bad sources to a temp tree and
+assert each rule fires exactly where intended (and stays quiet on the
+idiomatic deterministic alternative).  The subprocess tests at the
+bottom are the PR's acceptance pins: the real tree is clean against the
+committed baseline, and a wall-clock read seeded into the simulator is
+caught as DET002.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    Baseline,
+    Finding,
+    LintConfig,
+    RULES,
+    Severity,
+    all_rules,
+    fingerprint,
+    lint_paths,
+    load_config,
+)
+from repro.lint.baseline import BaselineEntry
+from repro.lint.config import LintConfigError
+from repro.lint.engine import render_text
+from repro.lint.suppressions import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_source(tmp_path: Path, source: str, name: str = "mod.py", **config):
+    """Write ``source`` into the temp tree and lint just that file."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source).lstrip("\n"), encoding="utf-8")
+    cfg = LintConfig(root=str(tmp_path), **config)
+    return lint_paths([str(path)], cfg, baseline=None)
+
+
+def codes(result) -> list:
+    return [finding.code for finding in result.findings]
+
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded global RNG
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    def test_module_level_random_calls_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random() + random.uniform(0, 1)
+            """,
+        )
+        assert codes(result) == ["DET001", "DET001"]
+
+    def test_numpy_global_rng_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """,
+        )
+        assert codes(result) == ["DET001"]
+
+    def test_argless_constructors_flagged_seeded_ok(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            bad = random.Random()
+            good = random.Random(42)
+            """,
+        )
+        assert codes(result) == ["DET001"]
+        assert result.findings[0].line == 3
+
+    def test_injected_stream_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def jitter(sim):
+                rng = sim.random.stream("jitter")
+                return rng.random()
+            """,
+        )
+        assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_calls_and_references_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+            import datetime
+            from dataclasses import field
+
+            stamp = time.time()
+            when = datetime.datetime.now()
+            deadline = time.monotonic()
+            factory = field(default_factory=time.time)
+            """,
+        )
+        # The bare ``time.time`` reference in default_factory must be
+        # caught too: it never appears as a Call node.
+        assert codes(result) == ["DET002"] * 4
+
+    def test_fires_without_an_import(self, tmp_path):
+        # The CI guard appends ``time.time()`` to an existing module; the
+        # rule must not depend on seeing the import statement.
+        result = lint_source(tmp_path, "_t = time.time()\n")
+        assert codes(result) == ["DET002"]
+
+    def test_allowlisted_boundary_is_exempt(self, tmp_path):
+        source = "import time\nstamp = time.time()\n"
+        clean = lint_source(
+            tmp_path,
+            source,
+            name="allowed/clock.py",
+            clock_allowlist=("allowed",),
+        )
+        assert codes(clean) == []
+        flagged = lint_source(
+            tmp_path,
+            source,
+            name="elsewhere/clock.py",
+            clock_allowlist=("allowed",),
+        )
+        assert codes(flagged) == ["DET002"]
+
+    def test_sim_clock_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def when(sim):
+                return sim.now
+            """,
+        )
+        assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — ordering-sensitive iteration over sets
+# ----------------------------------------------------------------------
+class TestSetIteration:
+    def test_for_loop_over_local_set_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def fanout(peers):
+                targets = set(peers)
+                for peer in targets:
+                    peer.send()
+            """,
+        )
+        assert codes(result) == ["DET003"]
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def fanout(peers):
+                targets = set(peers)
+                for peer in sorted(targets):
+                    peer.send()
+                return len(targets), max(targets)
+            """,
+        )
+        assert codes(result) == []
+
+    def test_cross_file_attribute_recognized(self, tmp_path):
+        # ``Peer.known`` is declared a set in one file; iterating
+        # ``peer.known`` in another file must still fire.
+        (tmp_path / "peer.py").write_text(
+            textwrap.dedent(
+                """
+                from typing import Set
+
+                class Peer:
+                    def __init__(self):
+                        self.known: Set[int] = set()
+                """
+            ),
+            encoding="utf-8",
+        )
+        (tmp_path / "node.py").write_text(
+            "def drain(peer):\n    return [item for item in peer.known]\n",
+            encoding="utf-8",
+        )
+        result = lint_paths([str(tmp_path)], LintConfig(root=str(tmp_path)))
+        assert [(f.code, Path(f.path).name) for f in result.findings] == [
+            ("DET003", "node.py")
+        ]
+
+    def test_set_pop_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def take(pending):
+                backlog = set(pending)
+                return backlog.pop()
+            """,
+        )
+        assert codes(result) == ["DET003"]
+
+
+# ----------------------------------------------------------------------
+# DET004 — id()/hash() as ordering keys
+# ----------------------------------------------------------------------
+class TestIdentityHash:
+    def test_id_and_hash_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def tie_break(a, b):
+                return min(a, b, key=id)
+
+            def bucket(obj, n):
+                return hash(obj) % n
+            """,
+        )
+        assert codes(result) == ["DET004", "DET004"]
+
+    def test_shadowed_name_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def lookup(table, id):
+                return table[id]
+            """,
+        )
+        assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# PICK001 — unpicklable callbacks on the event queue
+# ----------------------------------------------------------------------
+class TestQueueLambda:
+    def test_lambda_on_scheduler_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def arm(sim, node):
+                sim.call_every(5.0, lambda: node.tick())
+            """,
+        )
+        assert codes(result) == ["PICK001"]
+
+    def test_nested_function_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def arm(sim, node):
+                def tick():
+                    node.tick()
+                sim.schedule(5.0, tick)
+            """,
+        )
+        assert codes(result) == ["PICK001"]
+
+    def test_partial_over_module_function_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import functools
+
+            def _tick(node):
+                node.tick()
+
+            def arm(sim, node):
+                sim.call_every(5.0, functools.partial(_tick, node))
+            """,
+        )
+        assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_line_directive_silences_one_code(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            a = time.time()  # repro-lint: disable=DET002  (boot stamp)
+            b = time.time()
+            """,
+        )
+        assert codes(result) == ["DET002"]
+        assert result.findings[0].line == 4
+
+    def test_file_directive_silences_whole_file(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            # repro-lint: disable-file=DET002
+            import time
+
+            a = time.time()
+            b = time.time()
+            """,
+        )
+        assert codes(result) == []
+
+    def test_directive_only_covers_named_code(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time, random
+
+            a = time.time() + random.random()  # repro-lint: disable=DET002
+            """,
+        )
+        assert codes(result) == ["DET001"]
+
+    def test_unknown_code_reported_as_diagnostic(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "x = 1  # repro-lint: disable=DET999\n",
+        )
+        assert codes(result) == []
+        assert any("DET999" in note for note in result.diagnostics)
+
+    def test_parse_suppressions_bare_disable(self):
+        smap = parse_suppressions(
+            ["import time", "t = time.time()  # repro-lint: disable"],
+            known_codes=["DET002"],
+        )
+        assert smap.suppressed(2, "DET002")
+        assert not smap.suppressed(1, "DET002")
+
+
+# ----------------------------------------------------------------------
+# Baseline semantics
+# ----------------------------------------------------------------------
+def _finding(path="src/m.py", line=3, code="DET002", source="t = time.time()"):
+    return Finding(
+        path=path,
+        line=line,
+        col=4,
+        code=code,
+        message="wall clock",
+        source_line=source,
+    )
+
+
+class TestBaseline:
+    def test_grandfathered_finding_absorbed(self, tmp_path):
+        finding = _finding()
+        baseline = Baseline.from_findings([finding])
+        match = baseline.match([finding])
+        assert match.new == [] and match.baselined == [finding]
+        assert match.stale == []
+
+    def test_fingerprint_survives_line_shift(self):
+        before = _finding(line=3)
+        after = _finding(line=57)  # unrelated edits moved the line
+        assert Baseline.from_findings([before]).match([after]).new == []
+
+    def test_edited_line_invalidates_entry(self):
+        baseline = Baseline.from_findings([_finding()])
+        edited = _finding(source="t = time.time() + 1")
+        match = baseline.match([edited])
+        assert match.new == [edited]
+        assert len(match.stale) == 1  # the old entry should be expired
+
+    def test_matching_is_count_aware(self):
+        twin_a = _finding(line=3)
+        twin_b = _finding(line=9)  # identical stripped source text
+        baseline = Baseline.from_findings([twin_a])
+        match = baseline.match([twin_a, twin_b])
+        assert len(match.baselined) == 1 and len(match.new) == 1
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding()]).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0].fingerprint == fingerprint(
+            "src/m.py", "DET002", "t = time.time()"
+        )
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_stale_entries_reported_by_engine(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n", encoding="utf-8")
+        baseline = Baseline(
+            [BaselineEntry(path="m.py", code="DET002", fingerprint="0" * 16)]
+        )
+        result = lint_paths(
+            [str(tmp_path / "m.py")],
+            LintConfig(root=str(tmp_path)),
+            baseline=baseline,
+        )
+        assert len(result.stale_baseline) == 1
+        assert not result.failed
+        assert "stale baseline" in render_text(result)
+
+
+# ----------------------------------------------------------------------
+# Config and severity plumbing
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_load_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            textwrap.dedent(
+                """
+                [tool.repro-lint]
+                paths = ["lib"]
+                clock-allowlist = ["lib/perf"]
+                disable = ["DET004"]
+                baseline = "lint.json"
+
+                [tool.repro-lint.severity]
+                DET003 = "info"
+                """
+            ),
+            encoding="utf-8",
+        )
+        config = load_config(tmp_path)
+        assert config.paths == ("lib",)
+        assert config.clock_allowlisted("lib/perf/recorder.py")
+        assert not config.clock_allowlisted("lib/perfect.py")
+        assert config.disable == ("DET004",)
+        assert config.baseline_path() == tmp_path / "lint.json"
+        assert config.severity == {"DET003": "info"}
+
+    def test_malformed_table_raises(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\npaths = 3\n", encoding="utf-8"
+        )
+        with pytest.raises(LintConfigError):
+            load_config(tmp_path)
+
+    def test_info_severity_does_not_fail(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "import time\nt = time.time()\n",
+            severity={"DET002": Severity.INFO},
+        )
+        assert codes(result) == ["DET002"]
+        assert not result.failed
+
+    def test_disabled_rule_does_not_run(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "import time\nt = time.time()\n",
+            disable=("DET002",),
+        )
+        assert codes(result) == []
+
+    def test_every_rule_has_catalog_prose(self):
+        assert set(RULES) == {
+            "DET001", "DET002", "DET003", "DET004", "PICK001"
+        }
+        for rule in all_rules():
+            assert rule.summary and rule.rationale
+            assert rule.default_severity in Severity.ALL
+
+
+# ----------------------------------------------------------------------
+# The real tree, through the real CLI
+# ----------------------------------------------------------------------
+def run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+class TestRepositoryGate:
+    def test_src_is_clean_against_committed_baseline(self):
+        proc = run_cli("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new finding(s)" in proc.stdout
+
+    def test_seeded_wall_clock_read_is_caught(self, tmp_path):
+        # The CI guard in miniature: copy the shipped simulator module,
+        # append a wall-clock read, and the linter must fail with DET002.
+        original = (
+            REPO_ROOT / "src" / "repro" / "simnet" / "simulator.py"
+        ).read_text(encoding="utf-8")
+        seeded = tmp_path / "simulator.py"
+        seeded.write_text(
+            original + "\n_LINT_CANARY = time.time()\n", encoding="utf-8"
+        )
+        proc = run_cli(str(seeded), "--no-baseline", cwd=tmp_path)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "DET002" in proc.stdout
+
+    def test_json_output_shape(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        proc = run_cli(str(bad), "--no-baseline", "--format", "json",
+                       cwd=tmp_path)
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["failed"] is True
+        assert [f["code"] for f in payload["new_findings"]] == ["DET002"]
+
+    def test_list_rules_and_explain(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in RULES:
+            assert code in proc.stdout
+        proc = run_cli("--explain", "DET003")
+        assert proc.returncode == 0
+        assert "DET003" in proc.stdout and "suppress with" in proc.stdout
+
+    def test_unknown_rule_code_exits_2(self):
+        proc = run_cli("--explain", "NOPE999")
+        assert proc.returncode == 2
+
+    def test_update_baseline_roundtrip(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        proc = run_cli(str(bad), "--baseline", str(baseline),
+                       "--update-baseline", cwd=tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # Grandfathered now; the same invocation gates nothing...
+        proc = run_cli(str(bad), "--baseline", str(baseline), cwd=tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # ...but a second, new violation still fails.
+        bad.write_text(
+            "import time\nt = time.time()\nu = time.monotonic()\n",
+            encoding="utf-8",
+        )
+        proc = run_cli(str(bad), "--baseline", str(baseline), cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "DET002" in proc.stdout

@@ -25,7 +25,7 @@ from repro.bitcoin.messages import (
     Verack,
     Version,
 )
-from repro.simnet.addresses import NetAddr, TimestampedAddr
+from repro.simnet.addresses import TimestampedAddr
 
 from .conftest import make_addr
 

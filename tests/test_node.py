@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bitcoin import (
     BitcoinNode,
     Block,
@@ -13,7 +11,6 @@ from repro.bitcoin import (
     Transaction,
     unreachable_config,
 )
-from repro.simnet import Simulator
 
 from .conftest import build_small_network, make_addr, make_node
 
@@ -286,7 +283,7 @@ class TestPolicies:
         other.start()
         sim.run_for(30.0)
         peer = next(iter(node.peers.values()))
-        from repro.bitcoin.messages import GetAddr, Inv
+        from repro.bitcoin.messages import GetAddr
 
         peer.send_queue.clear()
         peer.enqueue_send(GetAddr())

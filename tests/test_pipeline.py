@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import CampaignConfig, CampaignRunner
-from repro.core.getaddr import GetAddrConfig
 from repro.netmodel import LongitudinalConfig, LongitudinalScenario, NodeClass
 
 

@@ -8,7 +8,6 @@ network emergent behaviour.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bitcoin import (
     BitcoinNode,
@@ -30,7 +29,7 @@ from repro.bitcoin.messages import (
     TxMsg,
 )
 
-from .conftest import make_addr, make_node
+from .conftest import make_node
 
 
 def connected_pair(sim, config_a=None, config_b=None):

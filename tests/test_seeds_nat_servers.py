@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.bitcoin.messages import Addr, GetAddr, Version
+from repro.bitcoin.messages import GetAddr, Version
 from repro.netmodel.addr_server import AddrServer
 from repro.netmodel.asmap import ASUniverse
 from repro.netmodel.churn import PresenceTimeline
@@ -18,7 +18,7 @@ from repro.netmodel.malicious import (
 from repro.netmodel.nat import NatModel
 from repro.netmodel.population import Population, PopulationConfig
 from repro.netmodel.seeds import AddressOracles, DnsSeeder, SeedViewConfig
-from repro.simnet import ProbeBehavior, Simulator
+from repro.simnet import ProbeBehavior
 from repro.units import DAYS
 
 from .conftest import make_addr

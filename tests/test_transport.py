@@ -7,7 +7,7 @@ from typing import List, Optional
 import pytest
 
 from repro.errors import AddressInUseError, ConnectionClosedError
-from repro.simnet import NetAddr, ProbeBehavior, ProbeResult, Simulator
+from repro.simnet import ProbeBehavior, ProbeResult
 from repro.simnet.transport import Socket
 
 from .conftest import make_addr
