@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ProtocolError
 from ..simnet.addresses import NetAddr, TimestampedAddr
 from ..simnet.rand import derive_seed
 from ..simnet.simulator import Simulator
@@ -247,6 +248,22 @@ class BitcoinNode:
         """Stop and immediately start again (the §IV-D resync experiment)."""
         self.stop()
         self.start()
+
+    def lose_state(self) -> None:
+        """Discard chain and mempool, as after an unclean crash.
+
+        Used by crash faults (``repro.faults``): a node restarted after
+        ``lose_state`` re-downloads the whole chain, the compressed
+        analogue of a corrupted datadir forcing a full IBD.  Address
+        tables survive (peers.dat outlives most crashes; losing it too
+        would understate recovery).  Only legal while stopped.
+        """
+        if self.running:
+            raise ProtocolError(f"lose_state on running node {self.addr}")
+        self.chain = Blockchain()
+        self.mempool = Mempool()
+        self._pending_cmpct.clear()
+        self.tip_history.append((self.sim.now, 0))
 
     # ------------------------------------------------------------------
     # ThreadOpenConnections

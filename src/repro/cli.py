@@ -8,6 +8,7 @@ Commands
 --------
 ``campaign``   the Fig. 2 crawl campaign (Figs. 3-5, 8, 12, 13, Table I)
 ``sync``       the Fig. 1 contrast (2019-like vs 2020-like churn)
+``chaos``      sync-% degradation vs. fault intensity (``repro.faults``)
 ``relay``      the Fig. 10/11 relay-delay measurement
 ``conn``       the Fig. 6/7 connection experiments
 ``store``      inspect the run store (``ls`` / ``show`` / ``gc`` / ``diff``)
@@ -17,6 +18,11 @@ Commands
 store after every snapshot; an interrupted run resumes from its last
 checkpoint (``--resume RUN_ID`` to be explicit) and a completed run with
 the same config is a cache hit.
+
+``--faults plan.json`` (on ``campaign``, ``sync``, and ``chaos``)
+compiles a deterministic fault plan onto every run; ``--seed-timeout``
+and ``--retries`` tune the supervised runner that multi-seed sweeps
+execute under.
 """
 
 from __future__ import annotations
@@ -50,10 +56,51 @@ def _warn_truncated(label: str, indices_or_seeds) -> None:
     )
 
 
+def _load_fault_plan(args: argparse.Namespace):
+    """The FaultPlan named by ``--faults``, or None."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    from .faults import FaultPlan
+
+    plan = FaultPlan.from_file(path)
+    print(f"fault plan: {len(plan)} fault(s) loaded from {path}")
+    return plan
+
+
+def _supervisor_config(args: argparse.Namespace):
+    """A SupervisorConfig from ``--seed-timeout``/``--retries``, or None."""
+    timeout = getattr(args, "seed_timeout", None)
+    retries = getattr(args, "retries", None)
+    if timeout is None and retries is None:
+        return None
+    config = core.SupervisorConfig()
+    if timeout is not None:
+        config.timeout = timeout
+    if retries is not None:
+        config.retries = retries
+    return config
+
+
+def _report_supervision(label: str, sweep) -> None:
+    """Print the sweep's partial-result bookkeeping, when any."""
+    if sweep.retried_seeds:
+        print(
+            f"NOTE: {label} seeds {sweep.retried_seeds} needed retries "
+            f"(crashed or hung workers) but completed"
+        )
+    if sweep.failed_seeds:
+        print(
+            f"WARNING: {label} seeds {sweep.failed_seeds} failed permanently "
+            f"— pooled statistics cover the {len(sweep.seeds)} completed "
+            f"seed(s) only"
+        )
+
+
 def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
     base = LongitudinalConfig(
         scale=args.scale, snapshots=args.snapshots, seed=args.seed,
-        engine=args.engine,
+        engine=args.engine, faults=_load_fault_plan(args),
     )
     seeds = core.seed_range(args.seed, args.seeds)
     print(
@@ -62,8 +109,10 @@ def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
         + (f" store={args.store}" if args.store else "")
     )
     sweep = core.run_campaign_sweep(
-        base, seeds, workers=args.workers, store=args.store
+        base, seeds, workers=args.workers, store=args.store,
+        supervisor=_supervisor_config(args),
     )
+    _report_supervision("campaign", sweep)
     if sweep.truncated:
         _warn_truncated("campaigns for seeds", sweep.truncated_seeds)
     s = args.scale
@@ -114,7 +163,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return _cmd_campaign_sweep(args)
     config = LongitudinalConfig(
         scale=args.scale, snapshots=args.snapshots, seed=args.seed,
-        engine=args.engine,
+        engine=args.engine, faults=_load_fault_plan(args),
     )
     if args.store is not None or args.resume is not None:
         from .store import default_store_root, run_stored_campaign
@@ -201,6 +250,7 @@ def _cmd_sync(args: argparse.Namespace) -> int:
         n_reachable=args.nodes,
         duration=args.hours * HOURS,
         seed=args.seed,
+        faults=_load_fault_plan(args),
     )
     if args.seeds > 1:
         seeds = core.seed_range(args.seed, args.seeds)
@@ -210,8 +260,11 @@ def _cmd_sync(args: argparse.Namespace) -> int:
             f"(workers={args.workers or 'auto'})..."
         )
         results = core.run_2019_vs_2020_sweep(
-            base, seeds=seeds, workers=args.workers
+            base, seeds=seeds, workers=args.workers,
+            supervisor=_supervisor_config(args),
         )
+        for label, sweep in results.items():
+            _report_supervision(f"sync {label!r}", sweep)
     else:
         print(
             f"sync: nodes={args.nodes} duration={args.hours}h — running 2019 "
@@ -256,6 +309,73 @@ def _cmd_sync(args: argparse.Namespace) -> int:
                 result.density(), out / f"sync_kde_{label}.csv"
             )
         print(f"exported CSVs to {out}/")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import FaultPlan
+
+    plan = FaultPlan.from_file(args.faults)
+    intensities = [float(part) for part in args.intensities.split(",")]
+    base = core.SyncCampaignConfig(
+        n_reachable=args.nodes,
+        duration=args.hours * HOURS,
+        seed=args.seed,
+    )
+    seeds = core.seed_range(args.seed, args.seeds)
+    print(
+        f"chaos: nodes={args.nodes} duration={args.hours}h plan={args.faults} "
+        f"({len(plan)} fault(s)) intensities={intensities} seeds={seeds} "
+        f"workers={args.workers or 'auto'}..."
+    )
+    result = core.run_sync_under_faults(
+        plan,
+        base,
+        intensities=intensities,
+        seeds=seeds,
+        workers=args.workers,
+        supervisor=_supervisor_config(args),
+    )
+    for level in result.levels:
+        _report_supervision(f"intensity {level.intensity}", level.sweep)
+    rows = []
+    for row in result.degradation_table():
+        delta = row["delta_vs_baseline"]
+        rows.append(
+            (
+                row["intensity"],
+                round(row["mean_sync"], 2),
+                round(row["median_sync"], 2),
+                "-" if delta is None else round(delta, 2),
+                len(row["failed_seeds"]),
+                len(row["retried_seeds"]),
+            )
+        )
+    print(
+        format_table(
+            ("intensity", "mean sync %", "median sync %",
+             "delta vs baseline", "failed", "retried"),
+            rows,
+        )
+    )
+    print()
+    print("injector totals per intensity level:")
+    for level in result.levels:
+        stats = level.fault_stats
+        nonzero = {k: v for k, v in stats.items() if v}
+        print(f"  {level.intensity}: {nonzero if nonzero else '(no faults fired)'}")
+    if args.export:
+        out = Path(args.export)
+        out.mkdir(parents=True, exist_ok=True)
+        with open(out / "chaos_degradation.json", "w", encoding="utf-8") as fh:
+            json.dump(result.degradation_table(), fh, indent=2, sort_keys=True)
+        for level in result.levels:
+            export_mod.export_sync_samples(
+                level.sweep,
+                out / f"sync_samples_intensity_{level.intensity}.csv",
+                label=f"intensity={level.intensity}",
+            )
+        print(f"exported degradation table and samples to {out}/")
     return 0
 
 
@@ -422,6 +542,25 @@ def _cmd_store_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervisor_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--seed-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-seed watchdog timeout for multi-seed sweeps",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retries per crashed/hung seed (default: 2)",
+    )
+
+
+def _fault_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--faults", type=str, default=None, metavar="PLAN.json",
+        help="compile this fault plan onto every run (see repro.faults)",
+    )
+    _supervisor_flags(p)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -454,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", type=str, default=None, metavar="RUN_ID",
         help="resume this run id from its last checkpoint",
     )
+    _fault_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     sync = sub.add_parser("sync", help="run the Fig. 1 churn contrast")
@@ -469,7 +609,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --seeds > 1 (default: CPU count)",
     )
     sync.add_argument("--export", type=str, default=None, metavar="DIR")
+    _fault_flags(sync)
     sync.set_defaults(func=_cmd_sync)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="measure sync-%% degradation vs. fault intensity",
+    )
+    chaos.add_argument(
+        "--faults", type=str, required=True, metavar="PLAN.json",
+        help="fault plan to scale across the intensity axis",
+    )
+    chaos.add_argument(
+        "--intensities", type=str, default="0,0.5,1,1.5,2", metavar="LIST",
+        help="comma-separated intensity multipliers (0 = clean baseline)",
+    )
+    chaos.add_argument("--nodes", type=int, default=40)
+    chaos.add_argument("--hours", type=float, default=1.0)
+    chaos.add_argument("--seed", type=int, default=21)
+    chaos.add_argument(
+        "--seeds", type=int, default=2, metavar="N",
+        help="seeds per intensity level",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: CPU count)",
+    )
+    chaos.add_argument("--export", type=str, default=None, metavar="DIR")
+    _supervisor_flags(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     relay = sub.add_parser("relay", help="run the Fig. 10/11 relay experiment")
     relay.add_argument("--nodes", type=int, default=30)

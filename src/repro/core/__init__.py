@@ -36,12 +36,18 @@ from .malicious_detect import (
     detect_flooders,
     merge_reports,
 )
+from .fault_experiments import (
+    FaultSweepLevel,
+    FaultSweepResult,
+    run_sync_under_faults,
+)
 from .parallel import (
     CampaignSweepResult,
     SyncSweepResult,
     run_2019_vs_2020_sweep,
     run_campaign_sweep,
     run_multi_seed,
+    run_multi_seed_supervised,
     run_sync_campaign_sweep,
     seed_range,
 )
@@ -81,6 +87,7 @@ from .sync_experiments import (
     run_2019_vs_2020,
     run_sync_campaign,
 )
+from .supervisor import SupervisedRun, SupervisorConfig, run_supervised
 from .sync_monitor import SyncMonitor, SyncSnapshot, best_height_at
 
 __all__ = [
@@ -98,6 +105,8 @@ __all__ = [
     "CrawlInput",
     "CrawlResult",
     "DetectionReport",
+    "FaultSweepLevel",
+    "FaultSweepResult",
     "GetAddrConfig",
     "GetAddrCrawler",
     "HijackPlan",
@@ -115,6 +124,8 @@ __all__ = [
     "StabilityResult",
     "SuccessResult",
     "SuccessRun",
+    "SupervisedRun",
+    "SupervisorConfig",
     "SyncCampaignConfig",
     "SyncCampaignResult",
     "SyncDepartureStats",
@@ -146,10 +157,13 @@ __all__ = [
     "run_connection_stability",
     "run_connection_success",
     "run_multi_seed",
+    "run_multi_seed_supervised",
     "run_relay_experiment",
     "run_resync_experiment",
+    "run_supervised",
     "run_sync_campaign",
     "run_sync_campaign_sweep",
+    "run_sync_under_faults",
     "seed_range",
     "series_preview",
     "summarize_attempt_durations",

@@ -2,11 +2,20 @@
 
 Every experiment in the reproduction is a deterministic function of its
 seed, which makes seed-level parallelism trivial to make *exactly*
-reproducible: fan the seeds out to a process pool, collect per-seed
-results **in seed order** (``Pool.map`` preserves input order no matter
-which worker finishes first), and merge.  The merged output is therefore
-bit-identical to running the same seeds sequentially — there is a test
-pinning that.
+reproducible: fan the seeds out to worker processes, collect per-seed
+results **in seed (input) order**, and merge.  The merged output is
+therefore bit-identical to running the same seeds sequentially — there
+is a test pinning that.
+
+Execution goes through the :mod:`~repro.core.supervisor` rather than a
+bare ``Pool.map``: crashed workers are detected and retried with
+backoff, hung workers can be timed out, and a seed that permanently
+fails yields a structured :class:`~repro.errors.SeedTaskError` instead
+of poisoning the whole campaign.  :func:`run_multi_seed` keeps the old
+all-or-nothing contract (it raises
+:class:`~repro.errors.CampaignAbortedError` carrying the partial
+results); the sweep drivers run in partial mode and report
+``failed_seeds`` / ``retried_seeds`` on their results.
 
 Workers default to the machine's CPU count (capped by the number of
 seeds) and can be forced with ``workers=`` or the ``REPRO_WORKERS``
@@ -19,15 +28,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from ..analysis.kde import DensityEstimate, kde
+from ..errors import CampaignAbortedError, ConfigurationError
 from ..netmodel.scenario import LongitudinalConfig, LongitudinalScenario
 from .pipeline import CampaignConfig, CampaignResult, CampaignRunner
+from .supervisor import SupervisedRun, SupervisorConfig, run_supervised
 from .sync_experiments import (
     SyncCampaignConfig,
     SyncCampaignResult,
@@ -38,39 +49,77 @@ T = TypeVar("T")
 
 
 def default_workers(n_tasks: int) -> int:
-    """Worker count: ``REPRO_WORKERS`` if set, else CPUs, capped by tasks."""
+    """Worker count: ``REPRO_WORKERS`` if set, else CPUs, capped by tasks.
+
+    Values below 1 clamp to 1 (inline execution); a non-integer
+    ``REPRO_WORKERS`` raises :class:`~repro.errors.ConfigurationError`.
+    """
     env = os.environ.get("REPRO_WORKERS")
     if env is not None:
-        return max(1, min(int(env), n_tasks))
+        try:
+            requested = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be an integer worker count, "
+                f"got {env!r}"
+            ) from None
+        return max(1, min(requested, n_tasks))
     return max(1, min(multiprocessing.cpu_count(), n_tasks))
 
 
 def seed_range(base_seed: int, count: int) -> List[int]:
     """The consecutive seed list ``base_seed .. base_seed+count-1``."""
     if count < 1:
-        raise ValueError(f"need at least one seed, got {count}")
+        raise ConfigurationError(f"need at least one seed, got {count}")
     return list(range(base_seed, base_seed + count))
+
+
+def run_multi_seed_supervised(
+    task: Callable[[T], object],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    labels: Optional[Sequence[object]] = None,
+) -> SupervisedRun:
+    """Run ``task(item)`` per item under supervision; never raises per-seed.
+
+    Results come back in input order with ``None`` holes where items
+    permanently failed (see :class:`~repro.core.supervisor.SupervisedRun`).
+    ``labels`` names the items in failure reports (defaults to the items
+    themselves — pass the seed list when items are config objects).
+    ``task`` must be picklable (a module-level function or a
+    ``functools.partial`` of one) when more than one worker is used.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers(len(items))
+    return run_supervised(
+        task, items, workers, config=supervisor, labels=labels
+    )
 
 
 def run_multi_seed(
     task: Callable[[int], T],
     seeds: Sequence[int],
     workers: Optional[int] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> List[T]:
     """Run ``task(seed)`` for every seed; results in seed (input) order.
 
-    ``task`` must be picklable (a module-level function or a
-    ``functools.partial`` of one) when more than one worker is used.
+    The strict variant: if any seed fails permanently (after the
+    supervisor's retries), raises
+    :class:`~repro.errors.CampaignAbortedError` whose ``partial``
+    attribute still carries every completed result.
     """
-    seeds = list(seeds)
-    if workers is None:
-        workers = default_workers(len(seeds))
-    if workers <= 1 or len(seeds) <= 1:
-        return [task(seed) for seed in seeds]
-    with multiprocessing.Pool(processes=workers) as pool:
-        # map (not imap_unordered): output order == seed order, so the
-        # merged result cannot depend on worker scheduling.
-        return pool.map(task, seeds)
+    run = run_multi_seed_supervised(task, seeds, workers, supervisor)
+    if not run.ok:
+        raise CampaignAbortedError(
+            f"{len(run.failures)} of {len(run.results)} seed(s) failed "
+            f"permanently: {run.failed_labels}",
+            failures=run.failures,
+            partial=run.results,
+        )
+    return run.results
 
 
 # ---------------------------------------------------------------------------
@@ -82,10 +131,18 @@ def _sync_worker(base: SyncCampaignConfig, seed: int) -> SyncCampaignResult:
 
 @dataclass
 class SyncSweepResult:
-    """Multi-seed synchronization campaign, merged in seed order."""
+    """Multi-seed synchronization campaign, merged in seed order.
+
+    ``seeds``/``per_seed`` hold the campaigns that completed;
+    ``failed_seeds`` the seeds the supervisor gave up on (their samples
+    are absent from every pooled statistic) and ``retried_seeds`` those
+    that needed more than one attempt but completed.
+    """
 
     seeds: List[int]
     per_seed: List[SyncCampaignResult]
+    failed_seeds: List[int] = field(default_factory=list)
+    retried_seeds: List[int] = field(default_factory=list)
 
     @property
     def sync_samples(self) -> List[float]:
@@ -133,25 +190,44 @@ def run_sync_campaign_sweep(
     base: Optional[SyncCampaignConfig] = None,
     seeds: Optional[Sequence[int]] = None,
     workers: Optional[int] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> SyncSweepResult:
-    """Run the Fig. 1 campaign once per seed and merge deterministically."""
+    """Run the Fig. 1 campaign once per seed and merge deterministically.
+
+    Partial mode: seeds that fail permanently are dropped from the merge
+    and reported on ``failed_seeds`` instead of aborting the sweep.
+    """
     base = base if base is not None else SyncCampaignConfig()
     seeds = list(seeds) if seeds is not None else seed_range(base.seed, 4)
-    results = run_multi_seed(partial(_sync_worker, base), seeds, workers)
-    return SyncSweepResult(seeds=seeds, per_seed=results)
+    run = run_multi_seed_supervised(
+        partial(_sync_worker, base), seeds, workers, supervisor
+    )
+    kept = [
+        (seed, result)
+        for seed, result in zip(seeds, run.results)
+        if result is not None
+    ]
+    return SyncSweepResult(
+        seeds=[seed for seed, _ in kept],
+        per_seed=[result for _, result in kept],
+        failed_seeds=list(run.failed_labels),
+        retried_seeds=list(run.retried_labels),
+    )
 
 
 def run_2019_vs_2020_sweep(
     base: Optional[SyncCampaignConfig] = None,
     seeds: Optional[Sequence[int]] = None,
     workers: Optional[int] = None,
+    supervisor: Optional[SupervisorConfig] = None,
     churn_2019: float = 5.0,
     churn_2020: float = 14.0,
 ) -> Dict[str, SyncSweepResult]:
     """The Fig. 1 contrast with N seeds per churn level.
 
-    All ``2 x len(seeds)`` runs share one worker pool; results are
-    regrouped by label, each group ordered by seed.
+    All ``2 x len(seeds)`` runs share one supervised fan-out; results are
+    regrouped by label, each group ordered by seed, with per-label
+    ``failed_seeds`` / ``retried_seeds``.
     """
     base = base if base is not None else SyncCampaignConfig()
     seeds = list(seeds) if seeds is not None else seed_range(base.seed, 4)
@@ -160,11 +236,36 @@ def run_2019_vs_2020_sweep(
     for _, churn in labels:
         for seed in seeds:
             tasks.append(replace(base, churn_per_10min=churn, seed=seed))
-    results = run_multi_seed(_run_sync_config, tasks, workers)
+    run = run_multi_seed_supervised(
+        _run_sync_config,
+        tasks,
+        workers,
+        supervisor,
+        labels=[config.seed for config in tasks],
+    )
     out: Dict[str, SyncSweepResult] = {}
     for index, (label, _) in enumerate(labels):
-        chunk = results[index * len(seeds) : (index + 1) * len(seeds)]
-        out[label] = SyncSweepResult(seeds=list(seeds), per_seed=chunk)
+        low, high = index * len(seeds), (index + 1) * len(seeds)
+        chunk = run.results[low:high]
+        kept = [
+            (seed, result)
+            for seed, result in zip(seeds, chunk)
+            if result is not None
+        ]
+        out[label] = SyncSweepResult(
+            seeds=[seed for seed, _ in kept],
+            per_seed=[result for _, result in kept],
+            failed_seeds=[
+                seed
+                for seed, result in zip(seeds, chunk)
+                if result is None
+            ],
+            retried_seeds=[
+                seeds[position - low]
+                for position in run.retried_indexes
+                if low <= position < high
+            ],
+        )
     return out
 
 
@@ -201,10 +302,17 @@ def _campaign_worker(
 
 @dataclass
 class CampaignSweepResult:
-    """Multi-seed crawl campaign, merged in seed order."""
+    """Multi-seed crawl campaign, merged in seed order.
+
+    Partial-result reporting mirrors :class:`SyncSweepResult`: seeds the
+    supervisor gave up on land in ``failed_seeds``, seeds that needed a
+    retry but completed in ``retried_seeds``.
+    """
 
     seeds: List[int]
     per_seed: List[CampaignResult]
+    failed_seeds: List[int] = field(default_factory=list)
+    retried_seeds: List[int] = field(default_factory=list)
 
     def mean_over_seeds(self, stat: Callable[[CampaignResult], float]) -> float:
         """Average a per-campaign statistic across seeds."""
@@ -239,13 +347,17 @@ def run_campaign_sweep(
     snapshots: Optional[int] = None,
     workers: Optional[int] = None,
     store: Optional[str] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> CampaignSweepResult:
     """Run the Fig. 2 crawl campaign once per seed and merge.
 
     ``store`` names a run-store root; when given, every per-seed campaign
     is checkpointed there and completed seeds are served from the cache
     on re-runs (the store root travels to workers as a plain path so the
-    task stays picklable).
+    task stays picklable).  The store also makes supervision cheap: a
+    crashed worker's retry resumes from the seed's last checkpoint — and
+    a seed that already finished is a pure cache hit — so completed work
+    is never recomputed.
     """
     seeds = list(seeds)
     task = partial(
@@ -255,5 +367,15 @@ def run_campaign_sweep(
         snapshots,
         os.fspath(store) if store is not None else None,
     )
-    results = run_multi_seed(task, seeds, workers)
-    return CampaignSweepResult(seeds=seeds, per_seed=results)
+    run = run_multi_seed_supervised(task, seeds, workers, supervisor)
+    kept = [
+        (seed, result)
+        for seed, result in zip(seeds, run.results)
+        if result is not None
+    ]
+    return CampaignSweepResult(
+        seeds=[seed for seed, _ in kept],
+        per_seed=[result for _, result in kept],
+        failed_seeds=list(run.failed_labels),
+        retried_seeds=list(run.retried_labels),
+    )

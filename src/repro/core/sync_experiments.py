@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..analysis.kde import DensityEstimate, kde
+from ..faults.plan import FaultPlan
 from ..netmodel.scenario import ProtocolConfig, ProtocolScenario
 from .sync_monitor import SyncMonitor
 
@@ -49,6 +50,10 @@ class SyncCampaignConfig:
     #: Optional event-count safety cap on the measurement run; when hit,
     #: the campaign is cut short and the result is marked truncated.
     max_events: Optional[int] = None
+    #: Optional fault plan compiled onto the run (see ``repro.faults``).
+    #: Fault ``start`` times are relative to the scenario clock, which
+    #: includes the warm-up period.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -62,6 +67,9 @@ class SyncCampaignResult:
     #: True when the event cap stopped the run before ``duration``
     #: elapsed — the sample series is shorter than requested.
     truncated: bool = False
+    #: What the fault injector did (``FaultStats.as_dict()``); ``None``
+    #: for fault-free campaigns.
+    fault_stats: Optional[Dict[str, int]] = None
 
     @property
     def mean(self) -> float:
@@ -88,6 +96,7 @@ def run_sync_campaign(
             churn_per_10min=config.churn_per_10min,
             block_interval=config.block_interval,
             pre_mined_blocks=config.pre_mined_blocks,
+            faults=config.faults,
         )
     )
     scenario.start(warmup=config.warmup)
@@ -97,12 +106,14 @@ def run_sync_campaign(
     run = scenario.sim.run_for(config.duration, max_events=config.max_events)
     monitor.stop()
     departures = monitor.departure_stats()
+    injector = scenario.fault_injector
     return SyncCampaignResult(
         sync_samples=monitor.sync_percents(),
         sync_departures_per_10min=monitor.departures_per_10min(),
         total_departures=departures.total_departures,
         config=config,
         truncated=run.truncated,
+        fault_stats=None if injector is None else injector.stats.as_dict(),
     )
 
 
@@ -130,6 +141,8 @@ def run_2019_vs_2020(
             warmup=base.warmup,
             duration=base.duration,
             seed=base.seed,
+            max_events=base.max_events,
+            faults=base.faults,
         )
         results[label] = run_sync_campaign(config)
     return results

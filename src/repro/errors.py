@@ -48,6 +48,60 @@ class ScenarioError(ReproError):
     """Invalid scenario configuration (e.g. negative population sizes)."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """A malformed harness setting (CLI flag, environment variable, plan file).
+
+    Subclasses :class:`ValueError` as well so call sites that predate the
+    taxonomy (``except ValueError``) keep working.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """An invalid fault plan or a fault that cannot apply to this world.
+
+    Raised at compile time (malformed :class:`~repro.faults.plan.FaultSpec`,
+    a crash fault with no node provider) rather than mid-simulation: a
+    fault plan either installs completely or not at all.
+    """
+
+
+class SupervisionError(ReproError):
+    """Base class for supervised-runner failures."""
+
+
+class SeedTaskError(SupervisionError):
+    """One seed's task failed permanently under the supervised runner.
+
+    Carries enough structure for partial-result reporting: which seed,
+    how many attempts were made, and the terminal cause (``"crashed
+    (exit code -9)"``, ``"hung past 30.0s timeout"``, or the task's own
+    exception rendered as text).
+    """
+
+    def __init__(self, seed: object, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"seed {seed!r} failed after {attempts} attempt(s): {cause}"
+        )
+        self.seed = seed
+        self.attempts = attempts
+        self.cause = cause
+
+
+class CampaignAbortedError(SupervisionError):
+    """A strict multi-seed run could not complete every seed.
+
+    ``failures`` holds the per-seed :class:`SeedTaskError` records;
+    ``partial`` the results that did complete (in input order, ``None``
+    where a seed failed), so a caller aborting loudly still gets to keep
+    what finished.
+    """
+
+    def __init__(self, message: str, failures=(), partial=None) -> None:
+        super().__init__(message)
+        self.failures = list(failures)
+        self.partial = partial
+
+
 class AnalysisError(ReproError):
     """Invalid input to an analysis routine (e.g. empty sample set)."""
 

@@ -1,0 +1,40 @@
+"""Deterministic, seeded fault injection for the simulator.
+
+``repro.faults`` turns a declarative :class:`FaultPlan` (message drop /
+duplication, latency spikes, connection resets, AS- or prefix-scoped
+partitions, node crash/restart) into scheduled events and transport
+hooks on one simulator, with every random decision drawn from named RNG
+streams so fault runs stay bit-identical per seed and snapshot/restore
+safe.  See ``docs/architecture.md`` for the design.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .plan import (
+    FAULT_KINDS,
+    KIND_CRASH,
+    KIND_DELAY,
+    KIND_DROP,
+    KIND_DUPLICATE,
+    KIND_PARTITION,
+    KIND_RESET,
+    PLAN_FORMAT,
+    FaultPlan,
+    FaultScope,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "KIND_CRASH",
+    "KIND_DELAY",
+    "KIND_DROP",
+    "KIND_DUPLICATE",
+    "KIND_PARTITION",
+    "KIND_RESET",
+    "PLAN_FORMAT",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultScope",
+    "FaultSpec",
+    "FaultStats",
+]

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import ScenarioError
+from ..faults.plan import FaultPlan
 from ..simnet.addresses import NetAddr
 from ..simnet.simulator import Simulator
 from ..units import DAYS
@@ -88,8 +89,14 @@ class LongitudinalConfig:
     #: Recorded in run-store manifests so a resumed run replays on the
     #: same engine it started on.
     engine: Optional[str] = None
+    #: Optional fault plan compiled onto the run (see ``repro.faults``).
+    #: Part of the config dataclass, hence of run-store keys: the same
+    #: campaign under different faults is a different experiment.
+    faults: Optional[FaultPlan] = None
 
     def validate(self) -> None:
+        if self.faults is not None:
+            self.faults.validate()
         if self.scale <= 0:
             raise ScenarioError("scale must be positive")
         if self.snapshots < 1:
@@ -179,6 +186,14 @@ class LongitudinalScenario:
                 self.sim,
                 record.addr,
                 self.sim.random.stream("server", str(record.addr)),
+            )
+        #: Fault injector, when the config carries a plan.  Crash faults
+        #: are rejected here (no full nodes to crash in this fidelity);
+        #: partitions/drops/delays shape the crawler's view instead.
+        self.fault_injector = None
+        if self.config.faults is not None:
+            self.fault_injector = self.sim.install_faults(
+                self.config.faults, asn_of=self.universe.asn_of
             )
         self._snapshot_index = -1
 
@@ -303,8 +318,12 @@ class ProtocolConfig:
     churn_per_10min: Optional[float] = None
     #: Plant protocol-mode malicious flooders.
     flooder_count: int = 0
+    #: Optional fault plan compiled onto the run (see ``repro.faults``).
+    faults: Optional[FaultPlan] = None
 
     def validate(self) -> None:
+        if self.faults is not None:
+            self.faults.validate()
         if self.n_reachable < 2:
             raise ScenarioError("need at least two reachable nodes")
         if not 0 < self.addr_reachable_share < 1:
@@ -412,6 +431,16 @@ class ProtocolScenario:
                 self.running_nodes,
                 self.add_replacement_node,
                 departures_per_10min=self.config.churn_per_10min,
+            )
+        #: Fault injector, when the config carries a plan.  This fidelity
+        #: supports every fault kind including crash/restart (the node
+        #: provider is the live population).
+        self.fault_injector = None
+        if self.config.faults is not None:
+            self.fault_injector = self.sim.install_faults(
+                self.config.faults,
+                asn_of=self.universe.asn_of,
+                node_provider=self.running_nodes,
             )
 
     # ------------------------------------------------------------------

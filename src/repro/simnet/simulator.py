@@ -184,6 +184,35 @@ class Simulator:
         return dispatched
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_faults(
+        self,
+        plan: Any,
+        asn_of: Optional[Callable[..., Any]] = None,
+        node_provider: Optional[Callable[[], Any]] = None,
+    ) -> Any:
+        """Compile a :class:`~repro.faults.plan.FaultPlan` onto this run.
+
+        Schedules the plan's activation windows on the ordinary event
+        queue, installs the transport hook (when the plan is non-empty),
+        and registers the resulting
+        :class:`~repro.faults.injector.FaultInjector` as the ``"faults"``
+        component so scenario code and reports can read its stats.
+        ``asn_of`` enables AS-scoped fault matching; ``node_provider``
+        enables crash faults.  Returns the injector.
+        """
+        # Imported lazily: repro.faults imports from repro.simnet, so a
+        # top-level import here would be circular.
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            self, plan, asn_of=asn_of, node_provider=node_provider
+        )
+        self.register("faults", injector)
+        return injector
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def snapshot(self) -> bytes:

@@ -165,6 +165,20 @@ class Network:
         # chain on every send.
         self._schedule_at = scheduler.schedule_at
         self._arrive_cb = self._arrive
+        #: Optional fault-injection hook (see ``repro.faults``).  ``None``
+        #: keeps the hot path fault-free at the cost of one identity check.
+        self._fault_hook: Any = None
+
+    def install_fault_hook(self, hook: Any) -> None:
+        """Attach a fault injector consulted on every message/connect/probe.
+
+        The hook needs ``message_fate(src, dst) -> (copies, extra_delay)``,
+        ``blocks_connect(src, dst)`` and ``blocks_probe(src, dst)``.  Only
+        one hook may be installed per network.
+        """
+        if self._fault_hook is not None:
+            raise TransportError("a fault hook is already installed")
+        self._fault_hook = hook
 
     # ------------------------------------------------------------------
     # Listeners
@@ -218,6 +232,13 @@ class Network:
         self.connects_attempted += 1
         if timeout is None:
             timeout = self.connect_timeout
+        if self._fault_hook is not None and self._fault_hook.blocks_connect(
+            local_addr, remote_addr
+        ):
+            # Partitioned: the SYN vanishes, so the attempt times out
+            # exactly like a silent drop (the slow failure mode).
+            self._scheduler.schedule(timeout, self._timeout_connect, on_result)
+            return
         rtt = 2.0 * self.latency.sample(local_addr, remote_addr)
 
         listener = self._listeners.get(remote_addr)
@@ -290,11 +311,32 @@ class Network:
         peer = sender._peer
         if peer is None:
             raise TransportError("socket has no peer")
+        if self._fault_hook is not None:
+            copies, fault_extra = self._fault_hook.message_fate(
+                sender.local_addr, sender.remote_addr
+            )
+            if copies == 0:
+                return  # dropped or blackholed by a partition
+            extra_delay += fault_extra
+            # Duplicates each take their own latency sample (and the FIFO
+            # clamp below), so a duplicate may land well after the original.
+            for _ in range(copies - 1):
+                self._schedule_arrival(sender, peer, message, extra_delay)
         delay = self.latency.sample(sender.local_addr, sender.remote_addr)
         arrive_at = self._clock._now + delay + extra_delay
         # TCP delivers in order per direction: jitter must not let a later
         # send overtake an earlier one (a VERACK arriving before its
         # VERSION would wedge the handshake).
+        if arrive_at < peer.last_arrival_at:
+            arrive_at = peer.last_arrival_at
+        peer.last_arrival_at = arrive_at
+        self._schedule_at(arrive_at, self._arrive_cb, peer, message)
+
+    def _schedule_arrival(
+        self, sender: Socket, peer: Socket, message: Any, extra_delay: float
+    ) -> None:
+        delay = self.latency.sample(sender.local_addr, sender.remote_addr)
+        arrive_at = self._clock._now + delay + extra_delay
         if arrive_at < peer.last_arrival_at:
             arrive_at = peer.last_arrival_at
         peer.last_arrival_at = arrive_at
@@ -369,6 +411,13 @@ class Network:
         self.probes_sent += 1
         if timeout is None:
             timeout = self.connect_timeout
+        if self._fault_hook is not None and self._fault_hook.blocks_probe(
+            local_addr, remote_addr
+        ):
+            # The probe packet is lost in the partition; the prober sees
+            # silence, indistinguishable from a firewalled host.
+            self._scheduler.schedule(timeout, on_result, ProbeResult.SILENT)
+            return
         rtt = 2.0 * self.latency.sample(local_addr, remote_addr)
         if remote_addr in self._listeners:
             self._scheduler.schedule(rtt, on_result, ProbeResult.BITCOIN)

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..core.pipeline import CampaignConfig, CampaignResult, CampaignRunner
-from ..errors import StoreError
+from ..errors import ConfigurationError, StoreError
 from ..netmodel.scenario import LongitudinalConfig, LongitudinalScenario
 from ..simnet.simulator import resolve_engine
 from .checkpoint import dump_checkpoint, load_checkpoint
@@ -218,7 +218,15 @@ def run_stored_campaign(
         store.save_manifest(manifest)
 
     crash_after = os.environ.get(CRASH_ENV)
-    crash_index = int(crash_after) if crash_after is not None else None
+    crash_index: Optional[int] = None
+    if crash_after is not None:
+        try:
+            crash_index = int(crash_after)
+        except ValueError:
+            raise ConfigurationError(
+                f"{CRASH_ENV} must be an integer snapshot index, "
+                f"got {crash_after!r}"
+            ) from None
 
     times = runner.scenario.snapshot_times
     start = len(runner.result.snapshots)
