@@ -1,0 +1,265 @@
+"""Paper-scale protocol scenarios on the hybrid node tier.
+
+The paper's protocol experiments run against the real network's shape:
+~10K reachable nodes over a ~24x larger unreachable cloud.  The seed's
+`ProtocolScenario` topped out around 150 full nodes because every
+unreachable address was priced like a data-plane entry and every node
+carried a ``__dict__``-heavy object graph.  The hybrid tier changes the
+price list: the measured vantage and the whole reachable network stay
+full-fidelity `BitcoinNode`s, while the unreachable cloud becomes
+`LightNode` endpoints with O(1) per-node state and zero RNG draws —
+bit-identical figures (pinned in `tests/test_node_tiers.py`), ~20x+
+less memory per cloud address.
+
+Two measurements:
+
+* **per-node memory** — tracemalloc price of a bootstrapped full-tier
+  node vs a light-tier node (the acceptance bar is light <= 1/20 full);
+* **paper-scale run** — a 10x-larger network (default 1,500 full-tier
+  reachable nodes plus the proportional ~29K-endpoint unreachable
+  cloud) built, warmed up, and run, reporting wall time, dispatched
+  events, peak RSS, and the tier census.
+
+Run standalone to refresh the tracked numbers::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --out BENCH_scale.json
+
+CI runs a shortened variant with ``--rss-ceiling-mb`` as a regression
+gate; pytest runs a further reduced smoke (memory ratio + a small
+hybrid run) so the bench suite stays quick.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import random
+import sys
+import time
+import tracemalloc
+from typing import Dict, Optional
+
+from repro.bitcoin.config import NodeConfig
+from repro.bitcoin.light import LightNode
+from repro.bitcoin.node import BitcoinNode
+from repro.netmodel.scenario import ProtocolConfig, ProtocolScenario
+from repro.perf import read_memory
+from repro.simnet.addresses import NetAddr
+from repro.simnet.simulator import Simulator
+
+#: The seed repo's ProtocolScenario sizing — the "1x" the bench scales from.
+BASELINE_N_REACHABLE = 150
+
+
+# ----------------------------------------------------------------------
+# Per-node memory price
+# ----------------------------------------------------------------------
+def _bootstrap_table(rng: random.Random, reach: int = 60, unreach: int = 340):
+    """A scenario-shaped addrman seed: 15/85 reachable/unreachable mix."""
+    reachable = [NetAddr(ip=0x0A000000 + i) for i in range(1, 2 * reach)]
+    unreachable = [NetAddr(ip=0xAC100000 + i) for i in range(1, 4 * unreach)]
+    return rng.sample(reachable, reach) + rng.sample(unreachable, unreach)
+
+
+def measure_per_node_memory(
+    full_count: int = 100, light_count: int = 2000
+) -> Dict[str, object]:
+    """Tracemalloc bytes per node, full tier vs light tier.
+
+    Full nodes are bootstrapped the way scenarios bootstrap them (a
+    polluted ~400-entry addrman), because that bucketed table *is* the
+    dominant per-node cost the light tier exists to avoid.
+    """
+    rng = random.Random(1)
+    sim = Simulator(seed=1)
+    tables = [_bootstrap_table(rng) for _ in range(full_count)]
+    addrs = [NetAddr(ip=0xC0000000 + i) for i in range(full_count + light_count)]
+
+    gc.collect()
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    full_nodes = []
+    for i in range(full_count):
+        node = BitcoinNode(sim, addrs[i], NodeConfig())
+        node.bootstrap(tables[i])
+        full_nodes.append(node)
+    after_full, _ = tracemalloc.get_traced_memory()
+    light_nodes = [
+        LightNode(sim, addrs[full_count + i]) for i in range(light_count)
+    ]
+    after_light, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    full_bytes = (after_full - before) / full_count
+    light_bytes = (after_light - after_full) / light_count
+    del full_nodes, light_nodes
+    return {
+        "full_count": full_count,
+        "light_count": light_count,
+        "full_node_bytes": round(full_bytes),
+        "light_node_bytes": round(light_bytes),
+        "full_to_light_ratio": round(full_bytes / light_bytes, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# The paper-scale run
+# ----------------------------------------------------------------------
+def run_paper_scale(
+    n_reachable: int = 10 * BASELINE_N_REACHABLE,
+    warmup: float = 15.0,
+    duration: float = 20.0,
+    seed: int = 5,
+) -> Dict[str, object]:
+    """Build and run one hybrid-fidelity scenario at ``n_reachable``."""
+    config = ProtocolConfig(
+        seed=seed,
+        n_reachable=n_reachable,
+        fidelity="hybrid",
+        churn_per_10min=6.0,
+        pre_mined_blocks=10,
+    )
+    t0 = time.perf_counter()
+    scenario = ProtocolScenario(config)
+    build_s = time.perf_counter() - t0
+    census_cloud = len(scenario.light_cloud)
+
+    t1 = time.perf_counter()
+    scenario.start(warmup=warmup)
+    warmup_s = time.perf_counter() - t1
+
+    t2 = time.perf_counter()
+    result = scenario.sim.run_for(duration)
+    run_s = time.perf_counter() - t2
+
+    memory = read_memory(count_objects=True)
+    census = scenario.tier_census()
+    return {
+        "n_reachable": n_reachable,
+        "scale_vs_baseline": round(n_reachable / BASELINE_N_REACHABLE, 2),
+        "light_endpoints": census_cloud,
+        "tier_census": census,
+        "warmup_sim_s": warmup,
+        "measured_sim_s": duration,
+        "build_wall_s": round(build_s, 1),
+        "warmup_wall_s": round(warmup_s, 1),
+        "run_wall_s": round(run_s, 1),
+        "events_dispatched": int(result),
+        "events_per_sec": round(int(result) / run_s, 1) if run_s > 0 else 0.0,
+        "sync_fraction": round(scenario.sync_fraction(), 4),
+        "running_full_nodes": len(scenario.running_nodes()),
+        "peak_rss_bytes": memory.peak_rss_bytes,
+        "rss_bytes": memory.rss_bytes,
+        "live_objects": memory.live_objects,
+    }
+
+
+def run_bench(
+    n_reachable: int = 10 * BASELINE_N_REACHABLE,
+    warmup: float = 15.0,
+    duration: float = 20.0,
+    seed: int = 5,
+) -> Dict[str, object]:
+    per_node = measure_per_node_memory()
+    scale_run = run_paper_scale(
+        n_reachable=n_reachable, warmup=warmup, duration=duration, seed=seed
+    )
+    return {
+        "workload": {
+            "name": "hybrid_tier_paper_scale",
+            "baseline_n_reachable": BASELINE_N_REACHABLE,
+            "n_reachable": n_reachable,
+            "warmup_sim_s": warmup,
+            "duration_sim_s": duration,
+            "seed": seed,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "per_node_memory": per_node,
+        "paper_scale_run": scale_run,
+    }
+
+
+def _format(result: Dict[str, object]) -> str:
+    mem = result["per_node_memory"]
+    run = result["paper_scale_run"]
+    peak = run["peak_rss_bytes"] or 0
+    lines = [
+        f"scale bench ({run['n_reachable']:,} full-tier reachable, "
+        f"{run['light_endpoints']:,} light endpoints, "
+        f"{run['scale_vs_baseline']}x baseline):",
+        f"  full node      {mem['full_node_bytes']:>12,} B",
+        f"  light node     {mem['light_node_bytes']:>12,} B"
+        f"  (1/{mem['full_to_light_ratio']:.0f} of full)",
+        f"  build/warmup/run wall  {run['build_wall_s']:.0f}"
+        f" / {run['warmup_wall_s']:.0f} / {run['run_wall_s']:.0f} s",
+        f"  events         {run['events_dispatched']:>12,}"
+        f"  ({run['events_per_sec']:,.0f} ev/s)",
+        f"  peak RSS       {peak / 1e6:>12,.0f} MB",
+        f"  sync fraction  {run['sync_fraction']:>12.3f}"
+        f"  ({run['running_full_nodes']:,} full nodes running)",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (reduced size so the bench suite stays quick)
+# ----------------------------------------------------------------------
+def test_hybrid_tier_scale_smoke(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bench(n_reachable=200, warmup=20.0, duration=30.0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(_format(result))
+    mem = result["per_node_memory"]
+    # The acceptance bar: a light node costs at most 1/20 of a full node.
+    assert mem["full_to_light_ratio"] >= 20.0
+    run = result["paper_scale_run"]
+    assert run["light_endpoints"] > run["n_reachable"]
+    assert run["events_dispatched"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10 * BASELINE_N_REACHABLE)
+    parser.add_argument("--warmup", type=float, default=15.0)
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument(
+        "--rss-ceiling-mb", type=float, default=None,
+        help="fail (exit 1) if peak RSS exceeds this many MB",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write BENCH_scale.json-style output here"
+    )
+    args = parser.parse_args(argv)
+    result = run_bench(args.nodes, args.warmup, args.duration, args.seed)
+    print(_format(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    ratio = result["per_node_memory"]["full_to_light_ratio"]
+    if ratio < 20.0:
+        print(f"FAIL: light node costs more than 1/20 of a full node ({ratio})")
+        return 1
+    if args.rss_ceiling_mb is not None:
+        peak = result["paper_scale_run"]["peak_rss_bytes"]
+        if peak is not None and peak > args.rss_ceiling_mb * 1e6:
+            print(
+                f"FAIL: peak RSS {peak / 1e6:,.0f} MB exceeds ceiling "
+                f"{args.rss_ceiling_mb:,.0f} MB"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

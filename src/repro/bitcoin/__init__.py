@@ -8,8 +8,18 @@ blocks, and the §V policy refinements.
 """
 
 from .addrman import AddrInfo, AddrMan
+from .behavior import (
+    FIDELITY_FULL,
+    FIDELITY_LIGHT,
+    NodeBehavior,
+    describe_tier,
+    validate_fidelity,
+)
 from .blockchain import GENESIS_ID, Block, Blockchain, make_genesis
 from .config import NodeConfig, PolicyConfig, unreachable_config
+from .connection import ConnectionManager
+from .handler import HandlerLoop
+from .light import DEFAULT_LIGHT_PROFILE, LightNode, LightNodeProfile
 from .mempool import Mempool, Transaction
 from .messages import (
     Addr,
@@ -35,8 +45,12 @@ from .mining import MinedBlock, MiningProcess, TransactionGenerator
 from .node import BitcoinNode, ConnectionAttempt
 from .peer import Peer
 from .relay import RelayRecord, RelayTracker, relay_order
+from .relay_engine import RelayEngine
 
 __all__ = [
+    "DEFAULT_LIGHT_PROFILE",
+    "FIDELITY_FULL",
+    "FIDELITY_LIGHT",
     "GENESIS_ID",
     "Addr",
     "AddrInfo",
@@ -48,22 +62,28 @@ __all__ = [
     "Blockchain",
     "CmpctBlock",
     "ConnectionAttempt",
+    "ConnectionManager",
     "GetAddr",
     "GetBlockTxn",
     "GetBlocks",
     "GetData",
+    "HandlerLoop",
     "Inv",
     "InvItem",
     "InvType",
+    "LightNode",
+    "LightNodeProfile",
     "Mempool",
     "Message",
     "MinedBlock",
     "MiningProcess",
+    "NodeBehavior",
     "NodeConfig",
     "Peer",
     "Ping",
     "PolicyConfig",
     "Pong",
+    "RelayEngine",
     "RelayRecord",
     "RelayTracker",
     "SendCmpct",
@@ -72,7 +92,9 @@ __all__ = [
     "TxMsg",
     "Verack",
     "Version",
+    "describe_tier",
     "make_genesis",
     "relay_order",
     "unreachable_config",
+    "validate_fidelity",
 ]

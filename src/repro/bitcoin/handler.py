@@ -1,0 +1,96 @@
+"""The round-robin message-handler engine (paper Fig. 9 / Alg. 3).
+
+Extracted from the node so the loop — the hottest protocol code in the
+simulator — lives in one place with its two pieces of state: the
+"one pass already scheduled" latch and the uplink-serialization horizon.
+
+Each pass services connections **round-robin, one message per peer**:
+one receive from each ``vProcessMsg`` (dispatching into the node's
+protocol handlers), then one send from each ``vSendMessage``.  Sends
+serialize on the node's uplink, so a block queued behind pending replies
+reaches the last connection late — the §IV-C relaying delay the paper
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import BitcoinNode
+
+#: Smallest gap between consecutive handler passes when work remains.
+_MIN_PASS_GAP = 0.001
+
+
+class HandlerLoop:
+    """SocketHandler + ThreadMessageHandler for one full-tier node."""
+
+    __slots__ = ("node", "scheduled", "uplink_free_at")
+
+    def __init__(self, node: "BitcoinNode") -> None:
+        self.node = node
+        #: True while a pass sits on the event queue (wake() latch).
+        self.scheduled = False
+        #: When the node's uplink finishes its last queued transmission.
+        self.uplink_free_at = 0.0
+
+    def reset(self, now: float) -> None:
+        """Re-arm the uplink horizon on node start."""
+        self.uplink_free_at = now
+
+    def wake(self) -> None:
+        """Schedule a handler pass unless one is already pending."""
+        if self.scheduled or not self.node.running:
+            return
+        self.scheduled = True
+        self.node.sim.schedule(0.0, self.run_pass)
+
+    def run_pass(self) -> None:
+        self.scheduled = False
+        node = self.node
+        if not node.running:
+            return
+        # This is the hottest protocol loop in the simulator (one pass per
+        # message burst on every node), so the per-iteration constants —
+        # config values, the dispatch table, and the clock, none of which
+        # change mid-pass — are hoisted to locals.
+        peers = node.peers
+        config = node.config
+        proc_time = config.proc_times.get
+        default_proc_time = config.default_proc_time
+        dispatch = node._DISPATCH.get
+        note_relayed = node.relay.note_relayed
+        now = node.sim.clock._now
+        busy = 0.0
+        # --- ThreadMessageHandler: one message per peer per pass ---
+        for socket, peer in list(peers.items()):
+            if socket not in peers:
+                continue  # dropped by an earlier handler in this pass
+            if peer.process_queue:
+                message = peer.process_queue.popleft()
+                busy += proc_time(message.command, default_proc_time)
+                handler = dispatch(message.command)
+                if handler is not None:
+                    handler(node, peer, message)
+        # --- SocketHandler: one send per peer per pass, uplink-serialized ---
+        send_epoch = now + busy
+        uplink_free_at = self.uplink_free_at
+        uplink_bandwidth = config.uplink_bandwidth
+        for socket, peer in list(peers.items()):
+            if not peer.send_queue or not socket.open:
+                continue
+            message = peer.send_queue.popleft()
+            start = send_epoch if send_epoch > uplink_free_at else uplink_free_at
+            done = start + message.wire_size / uplink_bandwidth
+            uplink_free_at = done
+            socket.send(message, extra_delay=done - now)
+            note_relayed(message, done)
+        self.uplink_free_at = uplink_free_at
+        # --- reschedule if work remains ---
+        more = any(
+            peer.process_queue or peer.send_queue for peer in peers.values()
+        )
+        if more:
+            self.scheduled = True
+            node.sim.schedule(max(busy, _MIN_PASS_GAP), self.run_pass)

@@ -1,0 +1,195 @@
+"""The light node tier: O(1)-memory peers for the statistical cloud.
+
+The paper never observes the unreachable population from the inside —
+it knows these hosts only by how they answer unsolicited packets (the
+VER probe's FIN/RST/silence, §III-C) and by the addresses they gossip.
+Wang & Pustogarov showed that a version/addr/ping surface is all an
+unreachable peer ever presents; Grundmann et al. estimate the population
+purely from such announcements.  A :class:`LightNode` is exactly that
+surface and nothing more:
+
+* **version/verack** — completes the handshake when it listens;
+* **ping → pong**, **getaddr → addr** from a *shared* immutable table;
+* a :class:`~repro.simnet.transport.ProbeBehavior` governing how the
+  transport answers connects/probes while the node does not listen.
+
+Memory discipline (the point of the tier):
+
+* ``__slots__`` everywhere — no per-instance ``__dict__``;
+* one frozen :class:`LightNodeProfile` shared by the whole cloud;
+* the ADDR table is a shared tuple, never copied per node;
+* per-connection state is a lazily created dict that stays ``None`` for
+  cloud nodes (they never accept);
+* replies are sent synchronously on the receiving socket — no handler
+  loop, no send queues, no timers, and **zero RNG draws**, so adding a
+  million light nodes to a world changes no full-tier event or draw.
+
+The result is tens of full nodes' worth of state per *thousand* light
+nodes, which is what lets protocol scenarios run at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..simnet.addresses import NetAddr, TimestampedAddr
+from ..simnet.simulator import Simulator
+from ..simnet.transport import ProbeBehavior, Socket
+from .behavior import FIDELITY_LIGHT, NodeBehavior
+from .messages import Addr, Message, Pong, Verack, Version
+
+__all__ = ["DEFAULT_LIGHT_PROFILE", "LightNode", "LightNodeProfile"]
+
+
+@dataclass(frozen=True, slots=True)
+class LightNodeProfile:
+    """Behavioral knobs shared (by reference) across a whole light tier.
+
+    Frozen so one instance can safely back thousands of nodes; anything
+    per-node lives in the node's slots.
+    """
+
+    #: Accept inbound connections (light *reachable* stub).  The
+    #: unreachable cloud leaves this off and is reached only through its
+    #: probe behavior.
+    listen: bool = False
+    max_inbound: int = 16
+    #: Answer repeated GETADDRs (Core ignores repeats; so do we).
+    serve_repeated_getaddr: bool = False
+    #: Advertise own address when answering GETADDR.
+    self_advertise: bool = True
+
+
+#: The shared default profile (module-level so pickling dedupes it).
+DEFAULT_LIGHT_PROFILE = LightNodeProfile()
+
+#: Handshake session flags (bit field kept as a small int per socket).
+_GOT_VERSION = 1
+_SERVED_GETADDR = 2
+
+
+class LightNode(NodeBehavior):
+    """A thin version/verack/ping/addr/getaddr peer."""
+
+    fidelity = FIDELITY_LIGHT
+
+    __slots__ = (
+        "sim",
+        "addr",
+        "profile",
+        "behavior",
+        "running",
+        "addr_table",
+        "_sessions",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        addr: NetAddr,
+        behavior: ProbeBehavior = ProbeBehavior.FIN,
+        profile: LightNodeProfile = DEFAULT_LIGHT_PROFILE,
+        addr_table: Tuple[NetAddr, ...] = (),
+    ) -> None:
+        self.sim = sim
+        self.addr = addr
+        self.profile = profile
+        #: How the transport answers unsolicited packets while we do not
+        #: listen (the NAT model sets and updates this).
+        self.behavior = behavior
+        self.running = False
+        #: Shared, immutable gossip table served to GETADDR.
+        self.addr_table = addr_table
+        #: socket -> handshake flags; ``None`` until the first inbound
+        #: connection so cloud nodes never pay for the dict.
+        self._sessions: Optional[Dict[Socket, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def probe_behavior(self) -> ProbeBehavior:
+        """What the endpoint registry reports to connects and probes."""
+        return self.behavior
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        if self.profile.listen:
+            self.sim.network.listen(self.addr, self)
+        else:
+            self.sim.network.register_endpoint(self.addr, self)
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        if self.profile.listen:
+            self.sim.network.disconnect_host(self.addr)
+            self._sessions = None
+        else:
+            self.sim.network.unregister_endpoint(self.addr)
+
+    def set_behavior(self, behavior: ProbeBehavior) -> None:
+        """Update the NAT answer (churn: responsive host goes silent)."""
+        self.behavior = behavior
+
+    # ------------------------------------------------------------------
+    # Transport contract
+    # ------------------------------------------------------------------
+    def on_inbound_connection(self, socket: Socket) -> bool:
+        if not self.running or not self.profile.listen:
+            return False
+        sessions = self._sessions
+        if sessions is None:
+            sessions = self._sessions = {}
+        if len(sessions) >= self.profile.max_inbound:
+            return False
+        sessions[socket] = 0
+        return True
+
+    def on_message(self, socket: Socket, message: Message) -> None:
+        sessions = self._sessions
+        if sessions is None or socket not in sessions:
+            return
+        command = message.command
+        if command == "version":
+            if not sessions[socket] & _GOT_VERSION:
+                sessions[socket] |= _GOT_VERSION
+                socket.send(
+                    Version(
+                        sender=self.addr,
+                        receiver=socket.remote_addr,
+                        start_height=0,
+                    )
+                )
+                socket.send(Verack())
+        elif command == "ping":
+            socket.send(Pong(nonce=message.nonce))
+        elif command == "getaddr":
+            served = sessions[socket] & _SERVED_GETADDR
+            if served and not self.profile.serve_repeated_getaddr:
+                return
+            sessions[socket] |= _SERVED_GETADDR
+            now = self.sim.now
+            records = []
+            if self.profile.self_advertise:
+                records.append(TimestampedAddr(self.addr, now))
+            records.extend(
+                TimestampedAddr(a, now) for a in self.addr_table[:999]
+            )
+            if records:
+                socket.send(Addr(addresses=tuple(records)))
+        # verack / addr / anything else: accepted silently.  A light
+        # node keeps no inventory and relays nothing.
+
+    def on_disconnect(self, socket: Socket) -> None:
+        sessions = self._sessions
+        if sessions is not None:
+            sessions.pop(socket, None)
+
+    def __repr__(self) -> str:
+        mode = "listening" if self.profile.listen else self.behavior.value
+        return f"LightNode({self.addr}, {mode})"

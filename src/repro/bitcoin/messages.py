@@ -41,7 +41,7 @@ class InvType(enum.Enum):
     BLOCK = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InvItem:
     """One inventory vector: the type and the object id."""
 
@@ -50,7 +50,15 @@ class InvItem:
 
 
 class Message:
-    """Base class; subclasses define ``command`` and ``wire_size``."""
+    """Base class; subclasses define ``command`` and ``wire_size``.
+
+    Messages are the most-allocated objects in a protocol run, so the
+    subclasses are slotted dataclasses.  The empty ``__slots__`` here is
+    load-bearing: without it every subclass instance would still carry a
+    ``__dict__`` inherited from this base.
+    """
+
+    __slots__ = ()
 
     command: str = "?"
 
@@ -62,7 +70,7 @@ class Message:
         return f"<{self.command}>"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Version(Message):
     """VERSION: opens the handshake; carries the sender's chain height."""
 
@@ -78,21 +86,21 @@ class Version(Message):
         return HEADER_SIZE + 85 + len(self.user_agent)
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Verack(Message):
     """VERACK: completes the handshake."""
 
     command = "verack"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class GetAddr(Message):
     """GETADDR: request a sample of the peer's addrman."""
 
     command = "getaddr"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Addr(Message):
     """ADDR: gossip of (address, last-seen) records (≤1000)."""
 
@@ -110,7 +118,7 @@ class Addr(Message):
         return HEADER_SIZE + 3 + ADDR_RECORD_SIZE * len(self.addresses)
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Inv(Message):
     """INV: announce inventory (new blocks / transactions)."""
 
@@ -122,7 +130,7 @@ class Inv(Message):
         return HEADER_SIZE + 3 + INV_RECORD_SIZE * len(self.items)
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class GetData(Message):
     """GETDATA: request full objects previously announced via INV."""
 
@@ -134,7 +142,7 @@ class GetData(Message):
         return HEADER_SIZE + 3 + INV_RECORD_SIZE * len(self.items)
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class TxMsg(Message):
     """TX: a full transaction (opaque payload of ``size`` bytes)."""
 
@@ -147,7 +155,7 @@ class TxMsg(Message):
         return HEADER_SIZE + self.size
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class BlockMsg(Message):
     """BLOCK: a full block (header + all transactions).
 
@@ -167,7 +175,7 @@ class BlockMsg(Message):
         return HEADER_SIZE + self.block.size
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class SendCmpct(Message):
     """SENDCMPCT (BIP152): negotiate compact-block relay.
 
@@ -182,7 +190,7 @@ class SendCmpct(Message):
         return HEADER_SIZE + 9
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class CmpctBlock(Message):
     """CMPCTBLOCK (BIP152): header plus short ids of the block's txs.
 
@@ -206,7 +214,7 @@ class CmpctBlock(Message):
         return HEADER_SIZE + BLOCK_HEADER_SIZE + SHORTID_SIZE * len(self.block.txids)
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class GetBlockTxn(Message):
     """GETBLOCKTXN (BIP152): request txs missing from the mempool."""
 
@@ -219,7 +227,7 @@ class GetBlockTxn(Message):
         return HEADER_SIZE + 8 + 4 * len(self.txids)
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class BlockTxn(Message):
     """BLOCKTXN (BIP152): the requested transactions."""
 
@@ -233,7 +241,7 @@ class BlockTxn(Message):
         return HEADER_SIZE + 8 + self.total_size
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class GetBlocks(Message):
     """GETBLOCKS: ask for block inventory above ``from_height``.
 
@@ -249,7 +257,7 @@ class GetBlocks(Message):
         return HEADER_SIZE + 37
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Ping(Message):
     """PING keepalive."""
 
@@ -261,7 +269,7 @@ class Ping(Message):
         return HEADER_SIZE + 8
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Pong(Message):
     """PONG keepalive reply."""
 

@@ -1,31 +1,38 @@
-"""The simulated Bitcoin node.
+"""The simulated Bitcoin node (full tier).
 
 This is a Python rendering of the Bitcoin Core v0.20.1 architecture the
-paper reverse-engineered (§IV-B, §IV-C):
+paper reverse-engineered (§IV-B, §IV-C), composed from three extracted
+components plus the protocol-handler core that stays here:
 
-* **ThreadOpenConnections** — one outbound attempt at a time, targets drawn
-  from addrman's new/tried tables with equal probability and *no
-  reachability information*; failed attempts pace at the TCP timeout.
-* **Feeler connections** — every ~2 minutes, a short-lived probe of a
-  new-table address that promotes it to tried on success.
-* **SocketHandler / ThreadMessageHandler** (paper Fig. 9, Alg. 3) — each
-  handler pass services connections **round-robin, one message per peer**:
-  one receive from each ``vProcessMsg``, then one send from each
-  ``vSendMessage``.  Sends serialize on the node's uplink, so a block
-  queued behind pending replies reaches the last connection late — the
-  §IV-C relaying delay.
-* **Relay** — BIP152 compact blocks with high-bandwidth peers, INV/GETDATA
-  otherwise; transactions trickle behind Poisson timers.
-* **§V policies** — tried-only ADDR responses, shortened tried horizon,
-  and outbound-first/front-of-queue block relay, all switchable via
-  :class:`~repro.bitcoin.config.PolicyConfig`.
+* :class:`~repro.bitcoin.connection.ConnectionManager` —
+  ThreadOpenConnections (one outbound attempt at a time, targets drawn
+  from addrman's new/tried tables with *no reachability information*)
+  and the ~2-minute feeler probes, with the Fig. 6/7 attempt log.
+* :class:`~repro.bitcoin.handler.HandlerLoop` — SocketHandler /
+  ThreadMessageHandler (paper Fig. 9, Alg. 3): round-robin passes, one
+  message per peer, sends serialized on the node's uplink (the §IV-C
+  relaying delay).
+* :class:`~repro.bitcoin.relay_engine.RelayEngine` — BIP152 compact
+  blocks with high-bandwidth peers, INV/GETDATA otherwise, Poisson inv
+  trickle, and the §V relay-priority policies.
+
+The node itself keeps identity (addr/config/RNG), the data planes
+(addrman, chain, mempool, peers), the per-message protocol handlers,
+and the measurement surface (tip history, relay tracker, attempt log
+view).  The :class:`~repro.bitcoin.light.LightNode` tier implements the
+same :class:`~repro.bitcoin.behavior.NodeBehavior` contract in O(1)
+memory for the unreachable cloud.
+
+The decomposition is draw-for-draw and event-for-event identical to the
+monolithic node it replaced: every RNG call still comes from the same
+``("node", addr)`` stream in the same order, and every ``schedule()``
+call happens at the same point in the run, so same-seed figures are
+bit-identical across the refactor.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
-from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError
@@ -35,8 +42,11 @@ from ..simnet.simulator import Simulator
 from ..simnet.transport import Socket
 from . import config as cfg
 from .addrman import AddrMan
+from .behavior import FIDELITY_FULL, NodeBehavior
 from .blockchain import Block, Blockchain
 from .config import NodeConfig
+from .connection import ConnectionAttempt, ConnectionManager
+from .handler import HandlerLoop
 from .mempool import Mempool, Transaction
 from .messages import (
     Addr,
@@ -59,32 +69,16 @@ from .messages import (
     Version,
 )
 from .peer import Peer
-from .relay import RelayTracker, relay_order
+from .relay import RelayTracker
+from .relay_engine import RelayEngine
 
-#: Smallest gap between consecutive handler passes when work remains.
-_MIN_PASS_GAP = 0.001
-
-
-@dataclass
-class ConnectionAttempt:
-    """One outbound connection attempt and its outcome (Fig. 7 data)."""
-
-    started_at: float
-    finished_at: float
-    target: NetAddr
-    outcome: str  # "success", "failed", or "feeler-success"/"feeler-failed"
-
-    @property
-    def succeeded(self) -> bool:
-        return self.outcome.endswith("success")
-
-    @property
-    def duration(self) -> float:
-        return self.finished_at - self.started_at
+__all__ = ["BitcoinNode", "ConnectionAttempt"]
 
 
-class BitcoinNode:
+class BitcoinNode(NodeBehavior):
     """A Bitcoin peer: reachable (listening) or unreachable (NAT'd)."""
+
+    fidelity = FIDELITY_FULL
 
     def __init__(
         self,
@@ -112,24 +106,18 @@ class BitcoinNode:
         self.peers: Dict[Socket, Peer] = {}
         self.running = False
         self.started_at: Optional[float] = None
-        # Connection machinery state.
-        self._attempt_in_flight = False
-        self._connect_event = None
-        self._feeler_task = None
+        # Composed behavior layers.
+        self.connections = ConnectionManager(self)
+        self.handlers = HandlerLoop(self)
+        self.relay = RelayEngine(self)
         self._getaddr_task = None
         self._ping_task = None
-        self._active_feelers = 0
-        # Handler-loop state.
-        self._handler_scheduled = False
-        self._uplink_free_at = 0.0
-        self._inbound_trickle_armed = False
         # Compact blocks awaiting missing transactions: block_id -> Block.
         self._pending_cmpct: Dict[int, Block] = {}
         # Measurement hooks.
         self.relay_tracker: Optional[RelayTracker] = (
             RelayTracker() if self.config.track_relay_times else None
         )
-        self.attempt_log: List[ConnectionAttempt] = []
         self.first_relay_at: Optional[float] = None
         #: (time, height) each time the tip advanced — lets monitors ask
         #: "what height did this node report when last polled at t".
@@ -140,6 +128,11 @@ class BitcoinNode:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def attempt_log(self) -> List[ConnectionAttempt]:
+        """The connection manager's Fig. 7 attempt log."""
+        return self.connections.attempt_log
+
     @property
     def outbound_peers(self) -> List[Peer]:
         return [peer for peer in self.peers.values() if not peer.is_inbound]
@@ -156,7 +149,7 @@ class BitcoinNode:
     @property
     def outbound_count_with_feelers(self) -> int:
         """What ``getconnectioncount``-style polling sees (Fig. 6)."""
-        return self.outbound_count + self._active_feelers
+        return self.outbound_count + self.connections.active_feelers
 
     @property
     def inbound_count(self) -> int:
@@ -165,6 +158,18 @@ class BitcoinNode:
     @property
     def established_peers(self) -> List[Peer]:
         return [peer for peer in self.peers.values() if peer.established]
+
+    @property
+    def _active_feelers(self) -> int:
+        return self.connections.active_feelers
+
+    @property
+    def _uplink_free_at(self) -> float:
+        return self.handlers.uplink_free_at
+
+    @_uplink_free_at.setter
+    def _uplink_free_at(self, when: float) -> None:
+        self.handlers.uplink_free_at = when
 
     def is_synchronized(self, best_height: int) -> bool:
         """Does this node hold the up-to-date blockchain?"""
@@ -177,7 +182,11 @@ class BitcoinNode:
 
     def connection_success_rate(self) -> Optional[float]:
         """Fraction of logged non-feeler attempts that succeeded."""
-        attempts = [a for a in self.attempt_log if not a.outcome.startswith("feeler")]
+        attempts = [
+            a
+            for a in self.connections.attempt_log
+            if not a.outcome.startswith("feeler")
+        ]
         if not attempts:
             return None
         return sum(1 for a in attempts if a.succeeded) / len(attempts)
@@ -203,16 +212,10 @@ class BitcoinNode:
         self.running = True
         self.started_at = self.sim.now
         self.first_relay_at = None
-        self._uplink_free_at = self.sim.now
+        self.handlers.reset(self.sim.now)
         if self.config.listen:
             self.sim.network.listen(self.addr, self)
-        self._ensure_connecting()
-        if self.config.feelers_enabled:
-            self._feeler_task = self.sim.call_every(
-                self.config.feeler_interval,
-                self._try_feeler,
-                start_delay=self._rng.uniform(0, self.config.feeler_interval),
-            )
+        self.connections.start()
         if self.config.getaddr_repeat_interval:
             self._getaddr_task = self.sim.call_every(
                 self.config.getaddr_repeat_interval, self._send_getaddr_round
@@ -227,22 +230,16 @@ class BitcoinNode:
         if not self.running:
             return
         self.running = False
-        if self._feeler_task is not None:
-            self._feeler_task.stop()
-            self._feeler_task = None
         if self._getaddr_task is not None:
             self._getaddr_task.stop()
             self._getaddr_task = None
         if self._ping_task is not None:
             self._ping_task.stop()
             self._ping_task = None
-        if self._connect_event is not None:
-            self._connect_event.cancel()
-            self._connect_event = None
+        self.connections.stop()
         self.sim.network.disconnect_host(self.addr)
         self.peers.clear()
         self._pending_cmpct.clear()
-        self._active_feelers = 0
 
     def restart(self) -> None:
         """Stop and immediately start again (the §IV-D resync experiment)."""
@@ -266,75 +263,13 @@ class BitcoinNode:
         self.tip_history.append((self.sim.now, 0))
 
     # ------------------------------------------------------------------
-    # ThreadOpenConnections
+    # Connection plumbing shared with the connection manager
     # ------------------------------------------------------------------
     def _ensure_connecting(self) -> None:
-        """Schedule the next outbound attempt if slots are unfilled."""
-        if not self.running or self._attempt_in_flight:
-            return
-        if self.outbound_count >= self.config.max_outbound:
-            return
-        if self._connect_event is not None:
-            return
-        self._connect_event = self.sim.schedule(
-            self.config.connect_retry_interval, self._attempt_connection
-        )
+        self.connections.ensure_connecting()
 
-    def _attempt_connection(self) -> None:
-        self._connect_event = None
-        if not self.running or self.outbound_count >= self.config.max_outbound:
-            return
-        target = self.addrman.select(self.sim.now)
-        if target is None or target == self.addr or self._connected_to(target):
-            self._ensure_connecting()
-            return
-        self.addrman.attempt(target, self.sim.now)
-        self._attempt_in_flight = True
-        started = self.sim.now
-        self.sim.network.connect(
-            self.addr,
-            target,
-            handler=self,
-            # partial, not a lambda: the callback sits in the event queue
-            # and must survive Simulator.snapshot() pickling.
-            on_result=partial(self._connection_result, target, started),
-            timeout=self.config.connect_timeout,
-        )
-
-    def _connection_result(
-        self, target: NetAddr, started: float, socket: Optional[Socket]
-    ) -> None:
-        self._attempt_in_flight = False
-        if self.config.track_connection_attempts:
-            self.attempt_log.append(
-                ConnectionAttempt(
-                    started_at=started,
-                    finished_at=self.sim.now,
-                    target=target,
-                    outcome="success" if socket is not None else "failed",
-                )
-            )
-        if not self.running:
-            if socket is not None:
-                socket.close()
-            return
-        if socket is None:
-            self._ensure_connecting()
-            return
-        if self.outbound_count >= self.config.max_outbound:
-            socket.close()  # slot got filled while we were handshaking
-            self._ensure_connecting()
-            return
-        peer = self._adopt_socket(socket)
-        peer.enqueue_send(
-            Version(
-                sender=self.addr,
-                receiver=peer.remote_addr,
-                start_height=self.chain.height,
-            )
-        )
-        self._wake_handler()
-        self._ensure_connecting()
+    def _try_feeler(self) -> None:
+        self.connections.try_feeler()
 
     def _connected_to(self, target: NetAddr) -> bool:
         return any(peer.remote_addr == target for peer in self.peers.values())
@@ -345,44 +280,6 @@ class BitcoinNode:
         socket.handler = self
         self.peers[socket] = peer
         return peer
-
-    # ------------------------------------------------------------------
-    # Feelers (footnote 1 of the paper)
-    # ------------------------------------------------------------------
-    def _try_feeler(self) -> None:
-        if not self.running:
-            return
-        target = self.addrman.select(self.sim.now, new_only=True)
-        if target is None or target == self.addr or self._connected_to(target):
-            return
-        self.addrman.attempt(target, self.sim.now)
-        self._active_feelers += 1
-        started = self.sim.now
-        self.sim.network.connect(
-            self.addr,
-            target,
-            handler=_FeelerHandler(),
-            on_result=partial(self._feeler_result, target, started),
-            timeout=self.config.connect_timeout,
-        )
-
-    def _feeler_result(
-        self, target: NetAddr, started: float, socket: Optional[Socket]
-    ) -> None:
-        self._active_feelers = max(0, self._active_feelers - 1)
-        success = socket is not None
-        if success:
-            self.addrman.good(target, self.sim.now)
-            socket.close()
-        if self.config.track_connection_attempts:
-            self.attempt_log.append(
-                ConnectionAttempt(
-                    started_at=started,
-                    finished_at=self.sim.now,
-                    target=target,
-                    outcome="feeler-success" if success else "feeler-failed",
-                )
-            )
 
     # ------------------------------------------------------------------
     # Transport callbacks
@@ -400,14 +297,14 @@ class BitcoinNode:
         if peer is None or socket not in self.peers:
             return
         peer.process_queue.append(message)
-        self._wake_handler()
+        self.handlers.wake()
 
     def on_disconnect(self, socket: Socket) -> None:
         peer = self.peers.pop(socket, None)
         if peer is None:
             return
         if not peer.is_inbound:
-            self._ensure_connecting()
+            self.connections.ensure_connecting()
 
     def _drop_connection(self, socket: Socket) -> None:
         """A spontaneous outbound-connection drop (lifetime expiry)."""
@@ -416,77 +313,16 @@ class BitcoinNode:
             return
         if socket.open:
             socket.close()
-        self._ensure_connecting()
+        self.connections.ensure_connecting()
 
     # ------------------------------------------------------------------
-    # The round-robin handler engine (paper Fig. 9 / Alg. 3)
+    # Handler-loop delegates (kept for experiment drivers and tests)
     # ------------------------------------------------------------------
     def _wake_handler(self) -> None:
-        if self._handler_scheduled or not self.running:
-            return
-        self._handler_scheduled = True
-        self.sim.schedule(0.0, self._handler_pass)
+        self.handlers.wake()
 
     def _handler_pass(self) -> None:
-        self._handler_scheduled = False
-        if not self.running:
-            return
-        # This is the hottest protocol loop in the simulator (one pass per
-        # message burst on every node), so the per-iteration constants —
-        # config values, the dispatch table, and the clock, none of which
-        # change mid-pass — are hoisted to locals.
-        peers = self.peers
-        config = self.config
-        proc_time = config.proc_times.get
-        default_proc_time = config.default_proc_time
-        dispatch = self._DISPATCH.get
-        now = self.sim.clock._now
-        busy = 0.0
-        # --- ThreadMessageHandler: one message per peer per pass ---
-        for socket, peer in list(peers.items()):
-            if socket not in peers:
-                continue  # dropped by an earlier handler in this pass
-            if peer.process_queue:
-                message = peer.process_queue.popleft()
-                busy += proc_time(message.command, default_proc_time)
-                handler = dispatch(message.command)
-                if handler is not None:
-                    handler(self, peer, message)
-        # --- SocketHandler: one send per peer per pass, uplink-serialized ---
-        send_epoch = now + busy
-        uplink_free_at = self._uplink_free_at
-        uplink_bandwidth = config.uplink_bandwidth
-        for socket, peer in list(peers.items()):
-            if not peer.send_queue or not socket.open:
-                continue
-            message = peer.send_queue.popleft()
-            start = send_epoch if send_epoch > uplink_free_at else uplink_free_at
-            done = start + message.wire_size / uplink_bandwidth
-            uplink_free_at = done
-            socket.send(message, extra_delay=done - now)
-            self._note_relayed(message, done)
-        self._uplink_free_at = uplink_free_at
-        # --- reschedule if work remains ---
-        more = any(
-            peer.process_queue or peer.send_queue for peer in peers.values()
-        )
-        if more:
-            self._handler_scheduled = True
-            self.sim.schedule(max(busy, _MIN_PASS_GAP), self._handler_pass)
-
-    def _note_relayed(self, message: Message, completed_at: float) -> None:
-        """Record relay completions for the §IV-C measurement."""
-        if self.first_relay_at is None and isinstance(
-            message, (BlockMsg, CmpctBlock)
-        ):
-            self.first_relay_at = completed_at
-        if self.relay_tracker is None:
-            return
-        if isinstance(message, (BlockMsg, CmpctBlock)):
-            self.relay_tracker.relayed(message.block_id, completed_at)
-        elif isinstance(message, Inv):
-            for item in message.items:
-                self.relay_tracker.relayed(item.object_id, completed_at)
+        self.handlers.run_pass()
 
     # ------------------------------------------------------------------
     # Message processing
@@ -692,7 +528,7 @@ class BitcoinNode:
             return
         if self.relay_tracker is not None:
             self.relay_tracker.saw(tx.txid, "tx", self.sim.now)
-        self._relay_tx(tx, exclude=peer)
+        self.relay.relay_tx(tx, exclude=peer)
 
     _DISPATCH: Dict[str, Callable] = {}
 
@@ -728,7 +564,7 @@ class BitcoinNode:
             for height in range(old_height + 1, self.chain.height + 1):
                 connected = self.chain.block_at_height(height)
                 if connected is not None:
-                    self._relay_block(connected)
+                    self.relay.relay_block(connected)
             if self.on_tip_advanced is not None:
                 self.on_tip_advanced(self, self.chain.tip)
         if peer is not None:
@@ -739,7 +575,7 @@ class BitcoinNode:
         if self.relay_tracker is not None:
             self.relay_tracker.saw(block.block_id, "block", self.sim.now)
         self._accept_block(None, block)
-        self._wake_handler()
+        self.handlers.wake()
 
     def submit_tx(self, tx: Transaction) -> None:
         """Inject a locally originated transaction (wallet behaviour)."""
@@ -747,78 +583,14 @@ class BitcoinNode:
             return
         if self.relay_tracker is not None:
             self.relay_tracker.saw(tx.txid, "tx", self.sim.now)
-        self._relay_tx(tx, exclude=None)
-        self._wake_handler()
+        self.relay.relay_tx(tx, exclude=None)
+        self.handlers.wake()
 
     def _relay_block(self, block: Block) -> None:
-        prioritize = self.config.policies.prioritize_block_relay
-        for peer in relay_order(self.established_peers, outbound_first=prioritize):
-            if block.block_id in peer.known_blocks:
-                continue
-            peer.known_blocks.add(block.block_id)
-            if self.config.compact_blocks and peer.wants_cmpct_hb:
-                message: Message = CmpctBlock(block=block)
-            else:
-                message = Inv(items=(InvItem(InvType.BLOCK, block.block_id),))
-            peer.enqueue_send(message, to_front=prioritize)
-            if self.relay_tracker is not None:
-                self.relay_tracker.enqueued(block.block_id)
+        self.relay.relay_block(block)
 
     def _relay_tx(self, tx: Transaction, exclude: Optional[Peer]) -> None:
-        for peer in self.established_peers:
-            if peer is exclude or tx.txid in peer.known_txs:
-                continue
-            peer.pending_tx_invs.add(tx.txid)
-            if self.relay_tracker is not None:
-                self.relay_tracker.enqueued(tx.txid)
-            self._schedule_trickle(peer)
-
-    def _schedule_trickle(self, peer: Peer) -> None:
-        """Arm the Poisson inv-trickle timer covering ``peer``.
-
-        Outbound peers each have their own timer; inbound peers share one
-        node-wide timer, as Bitcoin Core's ``PoissonNextSendInbound`` does
-        to blunt timing-based topology inference.
-        """
-        if peer.is_inbound:
-            if self._inbound_trickle_armed:
-                return
-            mean = self.config.tx_inv_interval_inbound
-            delay = self._rng.expovariate(1.0 / mean) if mean > 0 else 0.0
-            self._inbound_trickle_armed = True
-            self.sim.schedule(delay, self._flush_inbound_tx_invs)
-            return
-        if peer.next_tx_inv_at > self.sim.now:
-            return  # timer already pending
-        mean = self.config.tx_inv_interval_outbound
-        delay = self._rng.expovariate(1.0 / mean) if mean > 0 else 0.0
-        peer.next_tx_inv_at = self.sim.now + delay
-        self.sim.schedule(delay, self._flush_tx_invs, peer)
-
-    def _flush_inbound_tx_invs(self) -> None:
-        self._inbound_trickle_armed = False
-        if not self.running:
-            return
-        for peer in list(self.peers.values()):
-            if peer.is_inbound:
-                self._flush_peer_invs(peer)
-
-    def _flush_tx_invs(self, peer: Peer) -> None:
-        peer.next_tx_inv_at = 0.0
-        self._flush_peer_invs(peer)
-
-    def _flush_peer_invs(self, peer: Peer) -> None:
-        if peer.socket not in self.peers or not peer.established:
-            return
-        if not peer.pending_tx_invs:
-            return
-        txids = sorted(peer.pending_tx_invs)
-        peer.pending_tx_invs.clear()
-        peer.known_txs.update(txids)
-        peer.enqueue_send(
-            Inv(items=tuple(InvItem(InvType.TX, txid) for txid in txids))
-        )
-        self._wake_handler()
+        self.relay.relay_tx(tx, exclude)
 
     def _send_getaddr_round(self) -> None:
         """Periodic GETADDR to every peer (request-load generation)."""
@@ -826,7 +598,7 @@ class BitcoinNode:
             return
         for peer in self.established_peers:
             peer.enqueue_send(GetAddr())
-        self._wake_handler()
+        self.handlers.wake()
 
     def _send_ping_round(self) -> None:
         """Periodic PING keepalive to every established peer."""
@@ -834,7 +606,7 @@ class BitcoinNode:
             return
         for peer in self.established_peers:
             peer.enqueue_send(Ping(nonce=self._rng.getrandbits(32)))
-        self._wake_handler()
+        self.handlers.wake()
 
     # ------------------------------------------------------------------
     # Initial block download
@@ -870,13 +642,3 @@ BitcoinNode._DISPATCH = {
     "blocktxn": BitcoinNode._handle_blocktxn,
     "tx": BitcoinNode._handle_tx,
 }
-
-
-class _FeelerHandler:
-    """Socket handler for feeler connections: connect, verify, drop."""
-
-    def on_message(self, socket: Socket, message: Message) -> None:
-        pass  # a feeler never processes protocol traffic
-
-    def on_disconnect(self, socket: Socket) -> None:
-        pass

@@ -100,7 +100,8 @@ def _report_supervision(label: str, sweep) -> None:
 def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
     base = LongitudinalConfig(
         scale=args.scale, snapshots=args.snapshots, seed=args.seed,
-        engine=args.engine, faults=_load_fault_plan(args),
+        fidelity=args.fidelity, engine=args.engine,
+        faults=_load_fault_plan(args),
     )
     seeds = core.seed_range(args.seed, args.seeds)
     print(
@@ -163,7 +164,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return _cmd_campaign_sweep(args)
     config = LongitudinalConfig(
         scale=args.scale, snapshots=args.snapshots, seed=args.seed,
-        engine=args.engine, faults=_load_fault_plan(args),
+        fidelity=args.fidelity, engine=args.engine,
+        faults=_load_fault_plan(args),
     )
     if args.store is not None or args.resume is not None:
         from .store import default_store_root, run_stored_campaign
@@ -248,6 +250,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_sync(args: argparse.Namespace) -> int:
     base = core.SyncCampaignConfig(
         n_reachable=args.nodes,
+        fidelity=args.fidelity,
         duration=args.hours * HOURS,
         seed=args.seed,
         faults=_load_fault_plan(args),
@@ -319,6 +322,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     intensities = [float(part) for part in args.intensities.split(",")]
     base = core.SyncCampaignConfig(
         n_reachable=args.nodes,
+        fidelity=args.fidelity,
         duration=args.hours * HOURS,
         seed=args.seed,
     )
@@ -573,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--snapshots", type=int, default=12)
     campaign.add_argument("--seed", type=int, default=42)
     campaign.add_argument(
+        "--fidelity", choices=("full", "hybrid"), default="full",
+        help="node-tier fidelity: hybrid models the unreachable cloud "
+        "with O(1)-memory light nodes (same seed, same figures)",
+    )
+    campaign.add_argument(
         "--seeds", type=int, default=1, metavar="N",
         help="run N consecutive seeds (from --seed) and merge",
     )
@@ -601,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--hours", type=float, default=2.0)
     sync.add_argument("--seed", type=int, default=21)
     sync.add_argument(
+        "--fidelity", choices=("full", "hybrid"), default="full",
+        help="node-tier fidelity: hybrid models the unreachable cloud "
+        "with O(1)-memory light nodes (use for paper-scale --nodes)",
+    )
+    sync.add_argument(
         "--seeds", type=int, default=1, metavar="N",
         help="run N consecutive seeds (from --seed) per churn level",
     )
@@ -627,6 +641,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--nodes", type=int, default=40)
     chaos.add_argument("--hours", type=float, default=1.0)
     chaos.add_argument("--seed", type=int, default=21)
+    chaos.add_argument(
+        "--fidelity", choices=("full", "hybrid"), default="full",
+        help="node-tier fidelity for the underlying sync campaigns",
+    )
     chaos.add_argument(
         "--seeds", type=int, default=2, metavar="N",
         help="seeds per intensity level",

@@ -36,6 +36,10 @@ class SyncCampaignConfig:
 
     #: Standing reachable network size.
     n_reachable: int = 80
+    #: Node-tier fidelity: ``"full"`` or ``"hybrid"`` (light-tier
+    #: unreachable cloud; same seed → identical figures, ~20x less
+    #: memory per cloud address).  Paper-scale campaigns use hybrid.
+    fidelity: str = "full"
     #: Live churn: departures per 10 minutes (compressed; see module doc).
     churn_per_10min: float = 5.0
     block_interval: float = 600.0
@@ -92,6 +96,7 @@ def run_sync_campaign(
     scenario = ProtocolScenario(
         ProtocolConfig(
             seed=config.seed,
+            fidelity=config.fidelity,
             n_reachable=config.n_reachable,
             churn_per_10min=config.churn_per_10min,
             block_interval=config.block_interval,
@@ -133,6 +138,7 @@ def run_2019_vs_2020(
     for label, churn in (("2019", churn_2019), ("2020", churn_2020)):
         config = SyncCampaignConfig(
             n_reachable=base.n_reachable,
+            fidelity=base.fidelity,
             churn_per_10min=churn,
             block_interval=base.block_interval,
             pre_mined_blocks=base.pre_mined_blocks,

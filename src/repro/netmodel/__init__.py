@@ -33,6 +33,7 @@ from .metrics import (
 from .nat import NatModel
 from .population import NodeClass, NodeRecord, Population, PopulationConfig
 from .scenario import (
+    LightCloud,
     LongitudinalConfig,
     LongitudinalScenario,
     ProtocolConfig,
@@ -50,6 +51,7 @@ __all__ = [
     "DnsSeeder",
     "FloodVolumeModel",
     "HostingProfile",
+    "LightCloud",
     "LongitudinalConfig",
     "LongitudinalScenario",
     "MaliciousAddrServer",

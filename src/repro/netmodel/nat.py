@@ -19,16 +19,35 @@ answer an unsolicited, hand-crafted VER packet:
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
 from ..simnet.addresses import NetAddr
 from ..simnet.transport import Network, ProbeBehavior
 
+#: A scenario-provided hook that installs (or retargets) a light-tier
+#: endpoint for an unreachable address instead of a raw table entry.
+EndpointFactory = Callable[[NetAddr, ProbeBehavior], None]
+
 
 class NatModel:
-    """Installs per-address probe behaviour on the simulated network."""
+    """Installs per-address probe behaviour on the simulated network.
 
-    def __init__(self, network: Network, rng: random.Random, rst_fraction: float = 0.45):
+    In full-fidelity scenarios each unreachable address becomes a raw
+    probe-behavior table entry.  Hybrid scenarios pass an
+    ``endpoint_factory`` and the same calls install light-tier endpoint
+    objects instead; the transport answers connects and probes with
+    identical timing either way, and the RNG draw order here (one draw
+    per silent-class address) is unchanged, so the two representations
+    produce bit-identical runs.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rng: random.Random,
+        rst_fraction: float = 0.45,
+        endpoint_factory: Optional[EndpointFactory] = None,
+    ):
         if not 0 <= rst_fraction <= 1:
             raise ValueError(f"rst_fraction must be in [0, 1], got {rst_fraction}")
         self.network = network
@@ -36,12 +55,19 @@ class NatModel:
         #: Share of *silent-class* addresses that actually answer RST
         #: (host up, port closed) rather than dropping silently.
         self.rst_fraction = rst_fraction
+        self._endpoint_factory = endpoint_factory
+
+    def _install(self, addr: NetAddr, behavior: ProbeBehavior) -> None:
+        if self._endpoint_factory is not None:
+            self._endpoint_factory(addr, behavior)
+        else:
+            self.network.set_probe_behavior(addr, behavior)
 
     def mark_responsive(self, addrs: Iterable[NetAddr]) -> int:
         """Register addresses as responsive unreachable nodes (FIN)."""
         count = 0
         for addr in addrs:
-            self.network.set_probe_behavior(addr, ProbeBehavior.FIN)
+            self._install(addr, ProbeBehavior.FIN)
             count += 1
         return count
 
@@ -50,12 +76,12 @@ class NatModel:
         count = 0
         for addr in addrs:
             if self._rng.random() < self.rst_fraction:
-                self.network.set_probe_behavior(addr, ProbeBehavior.RST)
+                self._install(addr, ProbeBehavior.RST)
             else:
-                self.network.set_probe_behavior(addr, ProbeBehavior.SILENT)
+                self._install(addr, ProbeBehavior.SILENT)
             count += 1
         return count
 
     def mark_offline(self, addr: NetAddr) -> None:
         """An address whose host departed entirely: silent from now on."""
-        self.network.set_probe_behavior(addr, ProbeBehavior.SILENT)
+        self._install(addr, ProbeBehavior.SILENT)

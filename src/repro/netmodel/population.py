@@ -51,9 +51,13 @@ class NodeClass(enum.Enum):
         return self is not NodeClass.REACHABLE
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeRecord:
-    """One address in the universe and its ground truth."""
+    """One address in the universe and its ground truth.
+
+    Slotted: paper-scale worlds hold tens of thousands of records, and
+    the per-instance ``__dict__`` would cost more than the fields.
+    """
 
     addr: NetAddr
     asn: int

@@ -32,8 +32,11 @@ from ..errors import ScenarioError
 from ..faults.plan import FaultPlan
 from ..simnet.addresses import NetAddr
 from ..simnet.simulator import Simulator
+from ..simnet.transport import ProbeBehavior
 from ..units import DAYS
+from ..bitcoin.behavior import validate_fidelity
 from ..bitcoin.config import NodeConfig
+from ..bitcoin.light import LightNode
 from ..bitcoin.mining import MiningProcess, TransactionGenerator
 from ..bitcoin.node import BitcoinNode
 from . import calibration as cal
@@ -53,6 +56,40 @@ from .seeds import AddressOracles, DnsSeeder, SeedViewConfig
 
 
 # ---------------------------------------------------------------------------
+# Hybrid fidelity: the light-tier unreachable cloud
+# ---------------------------------------------------------------------------
+
+
+class LightCloud:
+    """Registry of light-tier endpoints modelling the unreachable cloud.
+
+    In hybrid fidelity the NAT model's ``mark_*`` calls route through
+    :meth:`install`, so every unreachable address becomes (or retargets)
+    a :class:`~repro.bitcoin.light.LightNode` registered with the
+    transport instead of a raw probe-behavior table entry.  The
+    transport answers connects and probes identically either way, which
+    is what makes full and hybrid runs of the same seed bit-identical.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: Dict[NetAddr, LightNode] = {}
+
+    def install(self, addr: NetAddr, behavior: ProbeBehavior) -> None:
+        """NAT-model endpoint factory: create or retarget a light node."""
+        node = self.nodes.get(addr)
+        if node is None:
+            node = LightNode(self.sim, addr, behavior=behavior)
+            node.start()
+            self.nodes[addr] = node
+        else:
+            node.behavior = behavior
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+# ---------------------------------------------------------------------------
 # Longitudinal (measurement-campaign) scenario
 # ---------------------------------------------------------------------------
 
@@ -63,6 +100,11 @@ class LongitudinalConfig:
 
     scale: float = 0.05
     seed: int = 1
+    #: ``"full"`` keeps the unreachable cloud as raw probe-behavior
+    #: entries; ``"hybrid"`` represents it with registered light-tier
+    #: endpoints.  Same seed → identical figures either way; the knob is
+    #: part of run-store keys.
+    fidelity: str = "full"
     campaign_days: float = float(cal.CAMPAIGN_DAYS)
     #: Crawl snapshots over the campaign (the paper crawled ~daily).
     snapshots: int = 60
@@ -97,6 +139,10 @@ class LongitudinalConfig:
     def validate(self) -> None:
         if self.faults is not None:
             self.faults.validate()
+        try:
+            validate_fidelity(self.fidelity)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
         if self.scale <= 0:
             raise ScenarioError("scale must be positive")
         if self.snapshots < 1:
@@ -174,10 +220,17 @@ class LongitudinalScenario:
             self.reachable_timeline,
             self.config.seed_views,
         )
+        #: Hybrid fidelity: the unreachable cloud as light-tier endpoints.
+        self.light_cloud: Optional[LightCloud] = None
+        if self.config.fidelity == "hybrid":
+            self.light_cloud = LightCloud(self.sim)
         self.nat = NatModel(
             self.sim.network,
             self.sim.random.stream("nat"),
             rst_fraction=self.config.rst_fraction,
+            endpoint_factory=(
+                self.light_cloud.install if self.light_cloud is not None else None
+            ),
         )
         #: One AddrServer per reachable record, started/stopped with churn.
         self.servers: Dict[NetAddr, AddrServer] = {}
@@ -281,6 +334,10 @@ class LongitudinalScenario:
         self.nat.mark_silent(silent_alive)
         self._snapshot_index += 1
 
+    def tier_census(self) -> Dict[str, int]:
+        """Count live behaviors per tier (transport's view of the world)."""
+        return self.sim.network.tier_census()
+
 
 # ---------------------------------------------------------------------------
 # Protocol-fidelity scenario
@@ -292,6 +349,12 @@ class ProtocolConfig:
     """Sizing of a live protocol network."""
 
     seed: int = 7
+    #: ``"full"`` — the unreachable cloud is raw probe-behavior entries;
+    #: ``"hybrid"`` — the cloud is light-tier endpoints with O(1) state
+    #: each.  The measured vantage and the reachable network are full
+    #: tier in both, and same seed → identical figures; the knob is part
+    #: of run-store keys.
+    fidelity: str = "full"
     #: Reachable full nodes online at start.
     n_reachable: int = 150
     #: Responsive unreachable addresses (FIN to probes, pollute tables).
@@ -324,6 +387,10 @@ class ProtocolConfig:
     def validate(self) -> None:
         if self.faults is not None:
             self.faults.validate()
+        try:
+            validate_fidelity(self.fidelity)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
         if self.n_reachable < 2:
             raise ScenarioError("need at least two reachable nodes")
         if not 0 < self.addr_reachable_share < 1:
@@ -382,10 +449,17 @@ class ProtocolScenario:
                 ),
             ),
         )
+        #: Hybrid fidelity: the unreachable cloud as light-tier endpoints.
+        self.light_cloud: Optional[LightCloud] = None
+        if self.config.fidelity == "hybrid":
+            self.light_cloud = LightCloud(self.sim)
         self.nat = NatModel(
             self.sim.network,
             self.sim.random.stream("nat"),
             rst_fraction=self.config.rst_fraction,
+            endpoint_factory=(
+                self.light_cloud.install if self.light_cloud is not None else None
+            ),
         )
         self.nat.mark_responsive(
             record.addr for record in self.population.responsive
@@ -396,6 +470,23 @@ class ProtocolScenario:
         self.seeder = DnsSeeder(self.sim.random.stream("dns"))
         self.nodes: List[BitcoinNode] = []
         self._next_replacement = 0
+        # Seed-table pools, computed once: at paper scale (thousands of
+        # reachable nodes, tens of thousands of unreachable records)
+        # rebuilding these per node is quadratic.  The cached lists hold
+        # exactly what the per-node construction produced — population
+        # order — so the ``rng.sample`` draws are unchanged.  Fakes are
+        # appended per call in ``_seed_tables`` because malicious nodes
+        # mint them while the run is live.
+        self._reachable_pool: List[NetAddr] = [
+            record.addr
+            for record in self.population.reachable[: self.config.n_reachable]
+        ]
+        self._unreachable_pool: List[NetAddr] = [
+            record.addr for record in self.population.responsive
+        ]
+        self._unreachable_pool.extend(
+            record.addr for record in self.population.silent
+        )
         # Materialise the standing network.
         standing = self.population.reachable[: self.config.n_reachable]
         self._replacement_pool = self.population.reachable[
@@ -465,15 +556,17 @@ class ProtocolScenario:
     def _seed_tables(self, node: BitcoinNode) -> None:
         """Pollute the node's addrman with the measured 15/85 mixture."""
         reachable_addrs = [
-            record.addr
-            for record in self.population.reachable[: self.config.n_reachable]
-            if record.addr != node.addr
+            addr for addr in self._reachable_pool if addr != node.addr
         ]
         n_reach = min(self.config.table_reachable_sample, len(reachable_addrs))
         share = self.config.addr_reachable_share
-        unreachable_pool = [
-            record.addr for record in self.population.unreachable_records
-        ]
+        fake = self.population.fake
+        if fake:
+            unreachable_pool = self._unreachable_pool + [
+                record.addr for record in fake
+            ]
+        else:
+            unreachable_pool = self._unreachable_pool
         n_unreach = min(
             len(unreachable_pool), round(n_reach * (1 - share) / share)
         )
@@ -558,6 +651,16 @@ class ProtocolScenario:
     # ------------------------------------------------------------------
     # Measurement helpers
     # ------------------------------------------------------------------
+    def tier_census(self) -> Dict[str, int]:
+        """Count live behaviors per tier (transport's view of the world).
+
+        Calibration metrics (sync fraction, relay delay, attempt logs)
+        are drawn only from ``self.nodes`` — all full tier — so the
+        census is diagnostic: it shows how much of the world the light
+        tier is carrying in hybrid runs.
+        """
+        return self.sim.network.tier_census()
+
     @property
     def best_height(self) -> int:
         if self.mining is not None:

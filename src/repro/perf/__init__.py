@@ -15,6 +15,13 @@ Enable it per simulator::
 or globally with ``REPRO_PERF=1`` in the environment.
 """
 
+from .memory import MemorySample, live_object_count, read_memory
 from .recorder import PerfRecorder, perf_enabled_by_env
 
-__all__ = ["PerfRecorder", "perf_enabled_by_env"]
+__all__ = [
+    "MemorySample",
+    "PerfRecorder",
+    "live_object_count",
+    "perf_enabled_by_env",
+    "read_memory",
+]

@@ -56,9 +56,17 @@ class NetAddr(namedtuple("_NetAddrBase", ("ip", "port"))):
     def parse(cls, text: str) -> "NetAddr":
         """Parse ``"a.b.c.d"`` or ``"a.b.c.d:port"`` into a :class:`NetAddr`.
 
+        Parsed addresses are interned through a bounded cache: repeated
+        parses of the same text (config files, exported CSVs, fault-plan
+        targets) return the *same* object, so large address sets loaded
+        from disk share storage instead of duplicating tuples.
+
         >>> NetAddr.parse("10.0.0.1:8333").dotted
         '10.0.0.1'
         """
+        cached = _parse_cache.get(text)
+        if cached is not None:
+            return cached
         host, sep, port_text = text.partition(":")
         port = int(port_text) if sep else DEFAULT_PORT
         parts = host.split(".")
@@ -70,10 +78,23 @@ class NetAddr(namedtuple("_NetAddrBase", ("ip", "port"))):
             if not 0 <= octet <= 255:
                 raise ValueError(f"octet out of range in {text!r}")
             ip = (ip << 8) | octet
-        return cls(ip=ip, port=port)
+        addr = cls(ip=ip, port=port)
+        if len(_parse_cache) >= _PARSE_CACHE_MAX:
+            # Evict oldest insertions (FIFO): parse workloads are bursts
+            # of distinct addresses, so plain insertion age is as good as
+            # LRU here and needs no per-hit bookkeeping.
+            for stale in list(_parse_cache)[: _PARSE_CACHE_MAX // 2]:
+                del _parse_cache[stale]
+        _parse_cache[text] = addr
+        return addr
 
     def __str__(self) -> str:
         return f"{self.dotted}:{self.port}"
+
+
+#: Bounded intern cache for :meth:`NetAddr.parse` (text -> NetAddr).
+_PARSE_CACHE_MAX = 65536
+_parse_cache: dict = {}
 
 
 class TimestampedAddr(NamedTuple):

@@ -19,7 +19,7 @@ import os
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import SimulationError
-from ..perf import PerfRecorder, perf_enabled_by_env
+from ..perf import MemorySample, PerfRecorder, perf_enabled_by_env, read_memory
 from .clock import SimClock
 from .events import EventHandle, HeapScheduler, Scheduler
 from .latency import LatencyConfig, LatencyModel
@@ -39,10 +39,19 @@ class RunResult(int):
     """
 
     truncated: bool
+    memory: Optional[MemorySample]
 
-    def __new__(cls, dispatched: int, truncated: bool) -> "RunResult":
+    def __new__(
+        cls,
+        dispatched: int,
+        truncated: bool,
+        memory: Optional[MemorySample] = None,
+    ) -> "RunResult":
         obj = super().__new__(cls, dispatched)
         obj.truncated = truncated
+        #: Peak-RSS / live-object sample taken as the run returned;
+        #: ``None`` unless the simulator runs with perf instrumentation.
+        obj.memory = memory
         return obj
 
     @property
@@ -157,14 +166,16 @@ class Simulator:
             raise SimulationError(
                 f"run_until({when}) but clock is already at {self.clock.now}"
             )
+        memory: Optional[MemorySample] = None
         if self.perf is not None:
             self.perf.start()
         dispatched, truncated = self.scheduler.run_until(when, max_events)
         if self.perf is not None:
             self.perf.stop()
+            memory = read_memory()
         if not truncated:
             self.clock.advance_to(when)
-        return RunResult(dispatched, truncated)
+        return RunResult(dispatched, truncated, memory=memory)
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> RunResult:
         """Dispatch events for ``duration`` seconds of simulated time."""

@@ -152,6 +152,13 @@ class Network:
         self.connect_timeout = connect_timeout
         self._listeners: Dict[NetAddr, Any] = {}
         self._probe_behavior: Dict[NetAddr, ProbeBehavior] = {}
+        #: Tier-aware endpoint registry: non-listening behaviors (light
+        #: nodes) keyed by address.  An endpoint only needs a
+        #: ``probe_behavior`` attribute; connects and probes honor it
+        #: with exactly the timing of the raw ``_probe_behavior`` table,
+        #: so a scenario can swap the statistical NAT table for live
+        #: light-tier objects without moving a single event.
+        self._endpoints: Dict[NetAddr, Any] = {}
         self._sockets_by_addr: Dict[NetAddr, List[Socket]] = {}
         # Monotone counters for whole-run accounting.
         self.connects_attempted = 0
@@ -207,7 +214,56 @@ class Network:
             self._probe_behavior[addr] = behavior
 
     def probe_behavior(self, addr: NetAddr) -> ProbeBehavior:
-        return self._probe_behavior.get(addr, ProbeBehavior.SILENT)
+        return self._behavior_at(addr)
+
+    def _behavior_at(self, addr: NetAddr) -> ProbeBehavior:
+        """Effective unsolicited-packet behavior of a non-listener."""
+        behavior = self._probe_behavior.get(addr)
+        if behavior is not None:
+            return behavior
+        endpoint = self._endpoints.get(addr)
+        if endpoint is not None:
+            return endpoint.probe_behavior
+        return ProbeBehavior.SILENT
+
+    # ------------------------------------------------------------------
+    # Tier-aware endpoint registry (light nodes)
+    # ------------------------------------------------------------------
+    def register_endpoint(self, addr: NetAddr, endpoint: Any) -> None:
+        """Attach a non-listening behavior object (light tier) to ``addr``.
+
+        The endpoint's ``probe_behavior`` attribute governs how connects
+        and probes answer.  Listening behaviors (full nodes, light
+        listeners) use :meth:`listen` instead; the registry is for the
+        unreachable cloud, which is observed but never accepts.
+        """
+        if addr in self._endpoints:
+            raise AddressInUseError(f"{addr} already has an endpoint")
+        self._endpoints[addr] = endpoint
+
+    def unregister_endpoint(self, addr: NetAddr) -> None:
+        """Remove the endpoint on ``addr`` (no-op if absent)."""
+        self._endpoints.pop(addr, None)
+
+    def endpoint(self, addr: NetAddr) -> Any:
+        """The registered endpoint on ``addr``, or ``None``."""
+        return self._endpoints.get(addr)
+
+    def tier_census(self) -> Dict[str, int]:
+        """How many behaviors of each tier the transport currently hosts.
+
+        Listeners default to the full tier unless they carry a
+        ``fidelity`` attribute saying otherwise; registered endpoints
+        default to light.
+        """
+        census = {"full": 0, "light": 0}
+        for handler in self._listeners.values():
+            tier = getattr(handler, "fidelity", "full")
+            census[tier if tier in census else "full"] += 1
+        for endpoint in self._endpoints.values():
+            tier = getattr(endpoint, "fidelity", "light")
+            census[tier if tier in census else "light"] += 1
+        return census
 
     # ------------------------------------------------------------------
     # Connections
@@ -254,7 +310,7 @@ class Network:
             )
             return
 
-        behavior = self._probe_behavior.get(remote_addr, ProbeBehavior.SILENT)
+        behavior = self._behavior_at(remote_addr)
         if behavior in (ProbeBehavior.RST, ProbeBehavior.FIN):
             # FIN-behaviour hosts accept the TCP handshake but close as
             # soon as Bitcoin speaks; either way the *connection attempt*
@@ -422,7 +478,7 @@ class Network:
         if remote_addr in self._listeners:
             self._scheduler.schedule(rtt, on_result, ProbeResult.BITCOIN)
             return
-        behavior = self._probe_behavior.get(remote_addr, ProbeBehavior.SILENT)
+        behavior = self._behavior_at(remote_addr)
         if behavior is ProbeBehavior.FIN:
             self._scheduler.schedule(rtt, on_result, ProbeResult.FIN)
         elif behavior is ProbeBehavior.RST:
