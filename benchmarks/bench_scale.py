@@ -134,7 +134,11 @@ def run_paper_scale(
     result = scenario.sim.run_for(duration)
     run_s = time.perf_counter() - t2
 
-    memory = read_memory(count_objects=True)
+    # collect=True: rss_bytes is the retained end-of-run footprint,
+    # peak_rss_bytes the transient high-water mark — two different
+    # regression signals (they used to read identically because the
+    # sample landed exactly at the peak).
+    memory = read_memory(count_objects=True, collect=True)
     census = scenario.tier_census()
     return {
         "n_reachable": n_reachable,
@@ -161,12 +165,15 @@ def run_bench(
     warmup: float = 15.0,
     duration: float = 20.0,
     seed: int = 5,
+    extra_nodes: Optional[int] = None,
+    extra_warmup: float = 10.0,
+    extra_duration: float = 10.0,
 ) -> Dict[str, object]:
     per_node = measure_per_node_memory()
     scale_run = run_paper_scale(
         n_reachable=n_reachable, warmup=warmup, duration=duration, seed=seed
     )
-    return {
+    result: Dict[str, object] = {
         "workload": {
             "name": "hybrid_tier_paper_scale",
             "baseline_n_reachable": BASELINE_N_REACHABLE,
@@ -182,12 +189,72 @@ def run_bench(
         "per_node_memory": per_node,
         "paper_scale_run": scale_run,
     }
+    if extra_nodes:
+        # A second, larger scale point (shorter sim windows: the point
+        # is throughput-at-size and build/memory price, not duration).
+        result["extra_scale_run"] = run_paper_scale(
+            n_reachable=extra_nodes,
+            warmup=extra_warmup,
+            duration=extra_duration,
+            seed=seed,
+        )
+    return result
+
+
+def compare_to_baseline(
+    result: Dict[str, object],
+    baseline_path: str,
+    warn_ratio: float,
+    fail_ratio: float,
+) -> int:
+    """Events/s regression gate against a committed BENCH_scale.json.
+
+    Returns an exit code: 0 (ok or merely warned) or 1 (measured
+    throughput below ``fail_ratio`` x the baseline figure).  Ratios are
+    deliberately loose — CI runners are slower and noisier than the
+    machine that recorded the baseline — so the warn line catches drift
+    and the fail line only catches a broken hot path.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base_evps = baseline["paper_scale_run"]["events_per_sec"]
+    measured = result["paper_scale_run"]["events_per_sec"]
+    ratio = measured / base_evps if base_evps else float("inf")
+    print(
+        f"baseline comparison: {measured:,.0f} ev/s vs "
+        f"{base_evps:,.0f} ev/s recorded ({ratio:.2f}x)"
+    )
+    if ratio < fail_ratio:
+        print(
+            f"FAIL: events/s fell below {fail_ratio}x the baseline "
+            f"({ratio:.2f}x) — hot-path regression"
+        )
+        return 1
+    if ratio < warn_ratio:
+        print(
+            f"WARNING: events/s below {warn_ratio}x the baseline "
+            f"({ratio:.2f}x) — investigate before it reaches the fail line"
+        )
+    return 0
+
+
+def _format_run(run: Dict[str, object]) -> list:
+    peak = run["peak_rss_bytes"] or 0
+    rss = run["rss_bytes"] or 0
+    return [
+        f"  build/warmup/run wall  {run['build_wall_s']:.0f}"
+        f" / {run['warmup_wall_s']:.0f} / {run['run_wall_s']:.0f} s",
+        f"  events         {run['events_dispatched']:>12,}"
+        f"  ({run['events_per_sec']:,.0f} ev/s)",
+        f"  RSS end/peak   {rss / 1e6:>12,.0f} MB / {peak / 1e6:,.0f} MB",
+        f"  sync fraction  {run['sync_fraction']:>12.3f}"
+        f"  ({run['running_full_nodes']:,} full nodes running)",
+    ]
 
 
 def _format(result: Dict[str, object]) -> str:
     mem = result["per_node_memory"]
     run = result["paper_scale_run"]
-    peak = run["peak_rss_bytes"] or 0
     lines = [
         f"scale bench ({run['n_reachable']:,} full-tier reachable, "
         f"{run['light_endpoints']:,} light endpoints, "
@@ -195,14 +262,15 @@ def _format(result: Dict[str, object]) -> str:
         f"  full node      {mem['full_node_bytes']:>12,} B",
         f"  light node     {mem['light_node_bytes']:>12,} B"
         f"  (1/{mem['full_to_light_ratio']:.0f} of full)",
-        f"  build/warmup/run wall  {run['build_wall_s']:.0f}"
-        f" / {run['warmup_wall_s']:.0f} / {run['run_wall_s']:.0f} s",
-        f"  events         {run['events_dispatched']:>12,}"
-        f"  ({run['events_per_sec']:,.0f} ev/s)",
-        f"  peak RSS       {peak / 1e6:>12,.0f} MB",
-        f"  sync fraction  {run['sync_fraction']:>12.3f}"
-        f"  ({run['running_full_nodes']:,} full nodes running)",
     ]
+    lines.extend(_format_run(run))
+    extra = result.get("extra_scale_run")
+    if extra:
+        lines.append(
+            f"extra scale point ({extra['n_reachable']:,} full-tier, "
+            f"{extra['light_endpoints']:,} light endpoints):"
+        )
+        lines.extend(_format_run(extra))
     return "\n".join(lines)
 
 
@@ -238,18 +306,42 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="write BENCH_scale.json-style output here"
     )
+    parser.add_argument(
+        "--extra-nodes", type=int, default=None, metavar="N",
+        help="also run a second scale point at N reachable nodes",
+    )
+    parser.add_argument("--extra-warmup", type=float, default=10.0)
+    parser.add_argument("--extra-duration", type=float, default=10.0)
+    parser.add_argument(
+        "--baseline", default=None, metavar="BENCH_scale.json",
+        help="compare events/s against this committed bench file",
+    )
+    parser.add_argument(
+        "--warn-ratio", type=float, default=0.75,
+        help="warn when events/s falls below this fraction of the baseline",
+    )
+    parser.add_argument(
+        "--fail-ratio", type=float, default=0.5,
+        help="exit 1 when events/s falls below this fraction of the baseline",
+    )
     args = parser.parse_args(argv)
-    result = run_bench(args.nodes, args.warmup, args.duration, args.seed)
+    result = run_bench(
+        args.nodes, args.warmup, args.duration, args.seed,
+        extra_nodes=args.extra_nodes,
+        extra_warmup=args.extra_warmup,
+        extra_duration=args.extra_duration,
+    )
     print(_format(result))
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(result, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.out}")
+    status = 0
     ratio = result["per_node_memory"]["full_to_light_ratio"]
     if ratio < 20.0:
         print(f"FAIL: light node costs more than 1/20 of a full node ({ratio})")
-        return 1
+        status = 1
     if args.rss_ceiling_mb is not None:
         peak = result["paper_scale_run"]["peak_rss_bytes"]
         if peak is not None and peak > args.rss_ceiling_mb * 1e6:
@@ -257,8 +349,15 @@ def main(argv=None) -> int:
                 f"FAIL: peak RSS {peak / 1e6:,.0f} MB exceeds ceiling "
                 f"{args.rss_ceiling_mb:,.0f} MB"
             )
-            return 1
-    return 0
+            status = 1
+    if args.baseline is not None:
+        status = max(
+            status,
+            compare_to_baseline(
+                result, args.baseline, args.warn_ratio, args.fail_ratio
+            ),
+        )
+    return status
 
 
 if __name__ == "__main__":

@@ -24,17 +24,36 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..simnet.addresses import NetAddr, TimestampedAddr
-from ..simnet.rand import derive_seed
 from ..units import DAYS
 from . import config as cfg
 
 
-@dataclass
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+
+    Bucket placement only needs a deterministic, seed-keyed uniform
+    spread over bucket indices; three multiply-xor-shift rounds give
+    that at a fraction of the keyed-SHA-256 cost that dominated ADDR
+    ingest in paper-scale profiles.  Pure integer arithmetic — stable
+    across platforms and interpreter runs (no ``hash()``).
+    """
+    x &= 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+@dataclass(slots=True)
 class AddrInfo:
-    """Bookkeeping for one known address."""
+    """Bookkeeping for one known address.
+
+    Slotted: a scale run holds hundreds of thousands of these per node
+    population, and the per-instance ``__dict__`` of a plain dataclass
+    roughly doubles their footprint.
+    """
 
     addr: NetAddr
     source: Optional[NetAddr]
@@ -48,6 +67,10 @@ class AddrInfo:
     attempts: int = 0
     in_tried: bool = False
     bucket: int = -1
+    #: Memoized GETADDR-response record for the current ``timestamp``
+    #: (addresses are re-sampled across many responses, so reusing the
+    #: record avoids re-allocating an identical tuple each time).
+    record: Optional[TimestampedAddr] = None
 
     def is_terrible(self, now: float, horizon: float) -> bool:
         """Core's ``AddrInfo::IsTerrible`` eviction predicate."""
@@ -95,7 +118,7 @@ class _Table:
         slot = self._buckets.setdefault(bucket, [])
         evicted = None
         if len(slot) >= self.bucket_size:
-            victim_index = self._rng.randrange(len(slot))
+            victim_index = int(self._rng.random() * len(slot))
             evicted = slot[victim_index]
             slot[victim_index] = addr
             self._remove_flat(evicted)
@@ -126,9 +149,10 @@ class _Table:
             self._pos[last] = index
 
     def random_addr(self) -> Optional[NetAddr]:
-        if not self._flat:
+        flat = self._flat
+        if not flat:
             return None
-        return self._flat[self._rng.randrange(len(self._flat))]
+        return flat[int(self._rng.random() * len(flat))]
 
     def sample(self, count: int) -> List[NetAddr]:
         count = min(count, len(self._flat))
@@ -156,12 +180,6 @@ class AddrMan:
         self._info: Dict[NetAddr, AddrInfo] = {}
         self._new = _Table(new_buckets, bucket_size, rng)
         self._tried = _Table(tried_buckets, bucket_size, rng)
-        # Bucket indices are pure functions of the (keyed) SHA-256 in
-        # derive_seed, so memoising them changes no placement — it only
-        # skips re-hashing on every ADDR gossip record.  Keys are small:
-        # netgroup pairs for new, one entry per promoted address for tried.
-        self._new_bucket_cache: Dict[tuple, int] = {}
-        self._tried_bucket_cache: Dict[NetAddr, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -194,26 +212,23 @@ class AddrMan:
     # Bucketing
     # ------------------------------------------------------------------
     def _new_bucket(self, addr: NetAddr, source: Optional[NetAddr]) -> int:
-        source_group = source.group16 if source is not None else 0
-        key = (addr.group16, source_group)
-        bucket = self._new_bucket_cache.get(key)
-        if bucket is None:
-            bucket = (
-                derive_seed(self._key, f"new:{key[0]}:{source_group}")
-                % self._new.bucket_count
-            )
-            self._new_bucket_cache[key] = bucket
-        return bucket
+        # Keyed on (own key, address netgroup, source netgroup), as in
+        # Core: the same address gossiped by different sources lands in
+        # different buckets.  Both netgroups are 16-bit, so packing them
+        # keeps distinct pairs distinct before mixing.
+        source_group = (source[0] >> 16) if source is not None else 0
+        # addr[0] & 0xFFFF0000 == group16 << 16 for 32-bit addresses,
+        # without the group16 property call (this runs per gossiped
+        # record at paper scale).
+        return _mix64(
+            self._key ^ (addr[0] & 0xFFFF0000) ^ source_group
+        ) % self._new.bucket_count
 
     def _tried_bucket(self, addr: NetAddr) -> int:
-        bucket = self._tried_bucket_cache.get(addr)
-        if bucket is None:
-            bucket = (
-                derive_seed(self._key, f"tried:{addr.ip}:{addr.port}")
-                % self._tried.bucket_count
-            )
-            self._tried_bucket_cache[addr] = bucket
-        return bucket
+        # (ip, port) packs injectively into 48 bits.
+        return _mix64(
+            self._key ^ (addr.ip << 16) ^ addr.port
+        ) % self._tried.bucket_count
 
     # ------------------------------------------------------------------
     # Mutation
@@ -244,6 +259,52 @@ class AddrMan:
             self._info.pop(evicted, None)
         self._info[addr] = info
         return True
+
+    def add_many(
+        self,
+        records: Sequence[TimestampedAddr],
+        now: float,
+        source: Optional[NetAddr] = None,
+    ) -> int:
+        """Bulk :meth:`add` for a whole ADDR message.  Returns # added.
+
+        Processing ADDR gossip record-by-record through :meth:`add` is
+        the busiest addrman entry point in a scale run (GETADDR replies
+        carry up to 1000 records), so the per-record loop is inlined
+        here with the lookups hoisted.  Semantics are record-for-record
+        identical to calling ``add(record.addr, now, source,
+        record.timestamp)`` in order — including the timestamp clamp and
+        the eviction draw order — so same-seed figures do not move.
+        """
+        info_map = self._info
+        new_insert = self._new.insert
+        key = self._key
+        bucket_count = self._new.bucket_count
+        source_group = (source[0] >> 16) if source is not None else 0
+        clamp = now + 600.0
+        added = 0
+        for record in records:
+            addr = record.addr
+            timestamp = record.timestamp
+            stamp = timestamp if timestamp < clamp else clamp
+            existing = info_map.get(addr)
+            if existing is not None:
+                if stamp > existing.timestamp:
+                    existing.timestamp = stamp
+                continue
+            info = AddrInfo(addr=addr, source=source, timestamp=stamp)
+            # _new_bucket with _mix64 unrolled — arithmetic identical to
+            # the method, sans two Python calls per new record.
+            x = (key ^ (addr[0] & 0xFFFF0000) ^ source_group) & 0xFFFFFFFFFFFFFFFF
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+            info.bucket = bucket = (x ^ (x >> 31)) % bucket_count
+            evicted = new_insert(addr, bucket)
+            if evicted is not None:
+                info_map.pop(evicted, None)
+            info_map[addr] = info
+            added += 1
+        return added
 
     def attempt(self, addr: NetAddr, now: float) -> None:
         """Record a connection attempt to ``addr``."""
@@ -339,17 +400,36 @@ class AddrMan:
             pool = self._tried.all_addresses()
         else:
             pool = self._new.all_addresses() + self._tried.all_addresses()
-        limit = min(max_count, max(1, len(pool) * max_pct // 100)) if pool else 0
-        self._rng.shuffle(pool)
+        pool_len = len(pool)
+        limit = min(max_count, max(1, pool_len * max_pct // 100)) if pool else 0
+        # Lazy partial Fisher-Yates: step ``i`` draws a uniform element
+        # from the un-picked tail, so stopping once ``limit`` good
+        # entries are collected yields exactly the same distribution as
+        # shuffling the whole pool and walking its prefix — at O(limit)
+        # RNG draws instead of O(pool).  GETADDR pools grow with the
+        # network, so the full shuffle was a dominant per-event cost in
+        # paper-scale runs.
+        rand = self._rng.random
+        info_map = self._info
+        horizon = self.horizon
         out: List[TimestampedAddr] = []
-        for addr in pool:
-            if len(out) >= limit:
-                break
-            info = self._info[addr]
-            if info.is_terrible(now, self.horizon):
+        i = 0
+        while i < pool_len and len(out) < limit:
+            # int(random() * k) is a single C call per draw; see the
+            # module docstring's uniform-selection deviation note.
+            j = i + int(rand() * (pool_len - i))
+            addr = pool[j]
+            pool[j] = pool[i]
+            i += 1
+            info = info_map[addr]
+            if info.is_terrible(now, horizon):
                 self.remove(addr)
                 continue
-            out.append(TimestampedAddr(addr=addr, timestamp=info.timestamp))
+            record = info.record
+            if record is None or record.timestamp != info.timestamp:
+                record = TimestampedAddr(addr=addr, timestamp=info.timestamp)
+                info.record = record
+            out.append(record)
         return out
 
     # ------------------------------------------------------------------

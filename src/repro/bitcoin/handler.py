@@ -26,7 +26,15 @@ _MIN_PASS_GAP = 0.001
 class HandlerLoop:
     """SocketHandler + ThreadMessageHandler for one full-tier node."""
 
-    __slots__ = ("node", "scheduled", "uplink_free_at")
+    __slots__ = (
+        "node",
+        "scheduled",
+        "uplink_free_at",
+        "dirty_process",
+        "dirty_send",
+        "_clock",
+        "_schedule_pass",
+    )
 
     def __init__(self, node: "BitcoinNode") -> None:
         self.node = node
@@ -34,19 +42,44 @@ class HandlerLoop:
         self.scheduled = False
         #: When the node's uplink finishes its last queued transmission.
         self.uplink_free_at = 0.0
+        self._clock = node.sim.clock
+        # Handler passes are never cancelled, so they can ride the
+        # scheduler's no-cancel fast lane (no EventHandle per pass); with
+        # the fast path disabled they take the regular queue.  Dispatch
+        # order is identical either way — the lane shares the global
+        # sequence counter.
+        if node.sim.fast_path:
+            self._schedule_pass = node.sim.scheduler.lane_schedule
+        else:
+            self._schedule_pass = self._schedule_pass_fallback
+        # Peers with queued work, in enqueue order (dicts keep insertion
+        # order, so iteration is deterministic).  A pass visits only
+        # these instead of scanning every connection: typical passes
+        # service one or two peers out of dozens, and the full scan was
+        # the dominant per-event cost at paper scale.  Peers enter via
+        # Peer.enqueue_send / Peer.enqueue_process and leave when a pass
+        # drains their queue (or their socket is gone).
+        self.dirty_process: "dict" = {}
+        self.dirty_send: "dict" = {}
+
+    def _schedule_pass_fallback(self, delay: float, fire, _payload) -> None:
+        """Fast path disabled: the pass takes the regular event queue."""
+        self.node.sim.scheduler.schedule(delay, fire)
 
     def reset(self, now: float) -> None:
         """Re-arm the uplink horizon on node start."""
         self.uplink_free_at = now
+        self.dirty_process.clear()
+        self.dirty_send.clear()
 
     def wake(self) -> None:
         """Schedule a handler pass unless one is already pending."""
         if self.scheduled or not self.node.running:
             return
         self.scheduled = True
-        self.node.sim.schedule(0.0, self.run_pass)
+        self._schedule_pass(0.0, self.run_pass, None)
 
-    def run_pass(self) -> None:
+    def run_pass(self, _lane_payload=None) -> None:
         self.scheduled = False
         node = self.node
         if not node.running:
@@ -57,40 +90,69 @@ class HandlerLoop:
         # change mid-pass — are hoisted to locals.
         peers = node.peers
         config = node.config
-        proc_time = config.proc_times.get
-        default_proc_time = config.default_proc_time
-        dispatch = node._DISPATCH.get
-        note_relayed = node.relay.note_relayed
-        now = node.sim.clock._now
+        now = self._clock._now
         busy = 0.0
         # --- ThreadMessageHandler: one message per peer per pass ---
-        for socket, peer in list(peers.items()):
-            if socket not in peers:
-                continue  # dropped by an earlier handler in this pass
-            if peer.process_queue:
-                message = peer.process_queue.popleft()
+        # Round-robin over the peers with pending messages, one message
+        # each (Alg. 3 fairness); a peer with a still-non-empty queue is
+        # re-marked for the next pass.
+        dirty_process = self.dirty_process
+        if dirty_process:
+            proc_time = config.proc_times.get
+            default_proc_time = config.default_proc_time
+            dispatch = node._DISPATCH.get
+            batch = list(dirty_process)
+            dirty_process.clear()
+            for peer in batch:
+                if peer.socket not in peers:
+                    continue  # dropped by an earlier handler in this pass
+                queue = peer.process_queue
+                if not queue:
+                    continue
+                message = queue.popleft()
                 busy += proc_time(message.command, default_proc_time)
                 handler = dispatch(message.command)
                 if handler is not None:
                     handler(node, peer, message)
+                if queue:
+                    dirty_process[peer] = None
         # --- SocketHandler: one send per peer per pass, uplink-serialized ---
-        send_epoch = now + busy
+        # Snapshot taken after phase 1 so sends enqueued by the handlers
+        # above go out in this same pass, as with the full scan.
+        dirty_send = self.dirty_send
         uplink_free_at = self.uplink_free_at
-        uplink_bandwidth = config.uplink_bandwidth
-        for socket, peer in list(peers.items()):
-            if not peer.send_queue or not socket.open:
-                continue
-            message = peer.send_queue.popleft()
-            start = send_epoch if send_epoch > uplink_free_at else uplink_free_at
-            done = start + message.wire_size / uplink_bandwidth
-            uplink_free_at = done
-            socket.send(message, extra_delay=done - now)
-            note_relayed(message, done)
+        if dirty_send:
+            send_epoch = now + busy
+            uplink_bandwidth = config.uplink_bandwidth
+            note_relayed = node.relay.note_relayed
+            deliver = node.sim.network._deliver
+            batch = list(dirty_send)
+            dirty_send.clear()
+            for peer in batch:
+                queue = peer.send_queue
+                socket = peer.socket
+                if not queue or not socket.open:
+                    continue
+                message = queue.popleft()
+                # Socket.send inlined: its open-check already ran above,
+                # and the wire size feeding the uplink delay doubles as
+                # the byte accounting (one property read, not two).
+                size = message.wire_size
+                start = send_epoch if send_epoch > uplink_free_at else uplink_free_at
+                done = start + size / uplink_bandwidth
+                uplink_free_at = done
+                deliver(socket, message, done - now)
+                socket.bytes_sent += size
+                socket.messages_sent += 1
+                note_relayed(message, done)
+                if queue:
+                    dirty_send[peer] = None
         self.uplink_free_at = uplink_free_at
         # --- reschedule if work remains ---
-        more = any(
-            peer.process_queue or peer.send_queue for peer in peers.values()
-        )
-        if more:
+        if dirty_process or dirty_send:
             self.scheduled = True
-            node.sim.schedule(max(busy, _MIN_PASS_GAP), self.run_pass)
+            self._schedule_pass(
+                busy if busy > _MIN_PASS_GAP else _MIN_PASS_GAP,
+                self.run_pass,
+                None,
+            )

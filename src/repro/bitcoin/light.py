@@ -37,9 +37,38 @@ from ..simnet.addresses import NetAddr, TimestampedAddr
 from ..simnet.simulator import Simulator
 from ..simnet.transport import ProbeBehavior, Socket
 from .behavior import FIDELITY_LIGHT, NodeBehavior
-from .messages import Addr, Message, Pong, Verack, Version
+from .messages import PONG0, VERACK, Addr, Message, Pong, Version
 
 __all__ = ["DEFAULT_LIGHT_PROFILE", "LightNode", "LightNodeProfile"]
+
+
+#: Bounded memo of timestamped GETADDR payloads, keyed by the shared
+#: table and the sim time of the answer.  A cloud's nodes share one
+#: ``addr_table`` tuple, so when several answer GETADDR in the same tick
+#: (batched crawler traffic) they serve the *same* records tuple instead
+#: of re-timestamping up to 999 records each.  Pure function of its key
+#: — sharing is invisible to the protocol and to checkpoint digests.
+_PAYLOAD_MEMO_MAX = 256
+_payload_memo: Dict[Tuple[Tuple[NetAddr, ...], float], Tuple[TimestampedAddr, ...]] = {}
+
+
+def shared_addr_records(
+    addr_table: Tuple[NetAddr, ...], now: float
+) -> Tuple[TimestampedAddr, ...]:
+    """The table part of a GETADDR answer, interned per (table, time)."""
+    key = (addr_table, now)
+    cached = _payload_memo.get(key)
+    if cached is not None:
+        return cached
+    if len(_payload_memo) >= _PAYLOAD_MEMO_MAX:
+        # FIFO eviction, same policy as NetAddr.parse's intern cache:
+        # payload reuse is a burst phenomenon (one crawler pass), so
+        # insertion age approximates LRU without per-hit bookkeeping.
+        for stale in list(_payload_memo)[: _PAYLOAD_MEMO_MAX // 2]:
+            del _payload_memo[stale]
+    records = tuple(TimestampedAddr(a, now) for a in addr_table[:999])
+    _payload_memo[key] = records
+    return records
 
 
 @dataclass(frozen=True, slots=True)
@@ -165,23 +194,21 @@ class LightNode(NodeBehavior):
                         start_height=0,
                     )
                 )
-                socket.send(Verack())
+                socket.send(VERACK)
         elif command == "ping":
-            socket.send(Pong(nonce=message.nonce))
+            nonce = message.nonce
+            socket.send(PONG0 if nonce == 0 else Pong(nonce=nonce))
         elif command == "getaddr":
             served = sessions[socket] & _SERVED_GETADDR
             if served and not self.profile.serve_repeated_getaddr:
                 return
             sessions[socket] |= _SERVED_GETADDR
             now = self.sim.now
-            records = []
+            records = shared_addr_records(self.addr_table, now)
             if self.profile.self_advertise:
-                records.append(TimestampedAddr(self.addr, now))
-            records.extend(
-                TimestampedAddr(a, now) for a in self.addr_table[:999]
-            )
+                records = (TimestampedAddr(self.addr, now),) + records
             if records:
-                socket.send(Addr(addresses=tuple(records)))
+                socket.send(Addr(addresses=records))
         # verack / addr / anything else: accepted silently.  A light
         # node keeps no inventory and relays nothing.
 

@@ -33,6 +33,7 @@ bit-identical across the refactor.
 from __future__ import annotations
 
 import bisect
+from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError
@@ -49,6 +50,9 @@ from .connection import ConnectionAttempt, ConnectionManager
 from .handler import HandlerLoop
 from .mempool import Mempool, Transaction
 from .messages import (
+    GETADDR,
+    PONG0,
+    VERACK,
     Addr,
     BlockMsg,
     BlockTxn,
@@ -74,6 +78,10 @@ from .relay_engine import RelayEngine
 
 __all__ = ["BitcoinNode", "ConnectionAttempt"]
 
+#: C-level accessor for TimestampedAddr.addr (field 0 of the namedtuple);
+#: feeds set.update without a Python-level lambda per record.
+_record_addr = itemgetter(0)
+
 
 class BitcoinNode(NodeBehavior):
     """A Bitcoin peer: reachable (listening) or unreachable (NAT'd)."""
@@ -92,6 +100,9 @@ class BitcoinNode(NodeBehavior):
         self.config = config if config is not None else NodeConfig()
         self.config.validate()
         self.name = name if name is not None else f"node-{addr}"
+        #: Hot-path alias for ``sim.clock`` (message handlers read the
+        #: time once per delivered message).
+        self._clock = sim.clock
         self._rng = sim.random.stream("node", str(addr))
         self.addrman = AddrMan(
             rng=self._rng,
@@ -112,6 +123,12 @@ class BitcoinNode(NodeBehavior):
         self.relay = RelayEngine(self)
         self._getaddr_task = None
         self._ping_task = None
+        # Cached list of established peers, in peers-dict (connection)
+        # order; rebuilt lazily after any membership or handshake-state
+        # change.  ADDR forwarding consults it per gossiped record, so
+        # recomputing it by scanning every connection was an O(peers)
+        # cost on every ADDR message at paper scale.
+        self._established_cache: Optional[List[Peer]] = None
         # Compact blocks awaiting missing transactions: block_id -> Block.
         self._pending_cmpct: Dict[int, Block] = {}
         # Measurement hooks.
@@ -239,6 +256,9 @@ class BitcoinNode(NodeBehavior):
         self.connections.stop()
         self.sim.network.disconnect_host(self.addr)
         self.peers.clear()
+        self._established_cache = None
+        self.handlers.dirty_process.clear()
+        self.handlers.dirty_send.clear()
         self._pending_cmpct.clear()
 
     def restart(self) -> None:
@@ -275,7 +295,7 @@ class BitcoinNode(NodeBehavior):
         return any(peer.remote_addr == target for peer in self.peers.values())
 
     def _adopt_socket(self, socket: Socket) -> Peer:
-        peer = Peer(socket, connected_at=self.sim.now)
+        peer = Peer(socket, connected_at=self.sim.now, loop=self.handlers)
         socket.user_data = peer
         socket.handler = self
         self.peers[socket] = peer
@@ -296,13 +316,21 @@ class BitcoinNode(NodeBehavior):
         peer = socket.user_data
         if peer is None or socket not in self.peers:
             return
+        # Peer.enqueue_process + HandlerLoop.wake, inlined: this runs
+        # once per delivered message, the single busiest protocol entry
+        # point at paper scale.
         peer.process_queue.append(message)
-        self.handlers.wake()
+        loop = self.handlers
+        loop.dirty_process[peer] = None
+        if not loop.scheduled and self.running:
+            loop.scheduled = True
+            loop._schedule_pass(0.0, loop.run_pass, None)
 
     def on_disconnect(self, socket: Socket) -> None:
         peer = self.peers.pop(socket, None)
         if peer is None:
             return
+        self._established_cache = None
         if not peer.is_inbound:
             self.connections.ensure_connecting()
 
@@ -311,6 +339,7 @@ class BitcoinNode(NodeBehavior):
         peer = self.peers.pop(socket, None)
         if peer is None or not self.running:
             return
+        self._established_cache = None
         if socket.open:
             socket.close()
         self.connections.ensure_connecting()
@@ -343,7 +372,7 @@ class BitcoinNode(NodeBehavior):
                     start_height=self.chain.height,
                 )
             )
-        peer.enqueue_send(Verack())
+        peer.enqueue_send(VERACK)
         if peer.verack_received and not peer.established:
             self._on_established(peer)
 
@@ -354,10 +383,11 @@ class BitcoinNode(NodeBehavior):
 
     def _on_established(self, peer: Peer) -> None:
         peer.established = True
+        self._established_cache = None
         if not peer.is_inbound:
             self.addrman.good(peer.remote_addr, self.sim.now)
             if self.config.getaddr_on_connect:
-                peer.enqueue_send(GetAddr())
+                peer.enqueue_send(GETADDR)
                 peer.sent_getaddr = True
             if self.config.connection_lifetime_mean:
                 lifetime = self._rng.expovariate(
@@ -375,7 +405,8 @@ class BitcoinNode(NodeBehavior):
         self._maybe_sync_from(peer)
 
     def _handle_ping(self, peer: Peer, message: Ping) -> None:
-        peer.enqueue_send(Pong(nonce=message.nonce))
+        nonce = message.nonce
+        peer.enqueue_send(PONG0 if nonce == 0 else Pong(nonce=nonce))
 
     def _handle_pong(self, peer: Peer, message: Pong) -> None:
         pass  # keepalive bookkeeping is irrelevant to the study
@@ -402,37 +433,123 @@ class BitcoinNode(NodeBehavior):
         return response
 
     def _handle_addr(self, peer: Peer, message: Addr) -> None:
+        records = message.addresses
         peer.addr_messages_received += 1
-        peer.addrs_received += len(message.addresses)
-        now = self.sim.now
-        addrman_add = self.addrman.add
-        known_add = peer.known_addrs.add
-        source = peer.remote_addr
-        for record in message.addresses:
-            addrman_add(record.addr, now, source, record.timestamp)
-            known_add(record.addr)
+        peer.addrs_received += len(records)
+        # Bulk paths: addrman ingests the whole message in one call, and
+        # known_addrs fills through set.update over a C-level accessor.
+        # Neither draws the RNG differently from the per-record loop
+        # they replaced, so gossip outcomes are bit-identical.
+        self.addrman.add_many(records, self._clock._now, peer.remote_addr)
+        peer.known_addrs.update(map(_record_addr, records))
         # Unsolicited small announcements are forwarded (Core relays fresh
         # addrs to a couple of peers); large getaddr replies are not.
-        if 0 < len(message.addresses) <= cfg.ADDR_FORWARD_MAX:
-            self._forward_addrs(peer, message.addresses)
+        if 0 < len(records) <= cfg.ADDR_FORWARD_MAX:
+            self._forward_addrs(peer, records, message)
+
+    def established_peer_list(self) -> List[Peer]:
+        """Established peers in connection order (cached; see __init__)."""
+        cached = self._established_cache
+        if cached is None:
+            cached = self._established_cache = [
+                peer for peer in self.peers.values() if peer.established
+            ]
+        return cached
 
     def _forward_addrs(
-        self, origin: Peer, records: Tuple[TimestampedAddr, ...]
+        self,
+        origin: Peer,
+        records: Tuple[TimestampedAddr, ...],
+        message: Optional[Addr] = None,
     ) -> None:
-        candidates = [
-            peer
-            for peer in self.established_peers
-            if peer is not origin
-        ]
-        if not candidates:
+        pool = self.established_peer_list()
+        # Most relayed announcements carry a single record (forwarding
+        # re-wraps each record individually, so chains stay single-record
+        # forever).  The incoming message is immutable, so it can be
+        # relayed as-is instead of allocating an identical copy.
+        reusable = message if message is not None and len(records) == 1 else None
+        count = len(pool)
+        available = count - 1 if origin.established else count
+        if available <= 0:
             return
+        fanout = min(cfg.ADDR_FORWARD_FANOUT, available)
+        # Index draws use ``int(random() * n)``: one C-level call per
+        # draw, against randrange()/sample()'s Python-level setup that
+        # dominated ADDR forwarding in paper-scale profiles.  random()
+        # carries 53 bits, so the rounding bias at protocol-size ``n``
+        # is immeasurable.
+        rand = self._rng.random
         for record in records:
-            fanout = min(cfg.ADDR_FORWARD_FANOUT, len(candidates))
-            for peer in self._rng.sample(candidates, fanout):
-                if record.addr in peer.known_addrs:
+            addr = record.addr
+            # Draw fanout targets by rejection against the shared pool:
+            # uniform without replacement over the non-origin established
+            # peers — the same distribution as sampling from a dedicated
+            # candidates list, without materialising that list per
+            # message (an O(peers) scan per ADDR at paper scale).
+            first = pool[int(rand() * count)]
+            while first is origin:
+                first = pool[int(rand() * count)]
+            second = None
+            if fanout >= 2:
+                second = pool[int(rand() * count)]
+                while second is origin or second is first:
+                    second = pool[int(rand() * count)]
+            if fanout <= 2:
+                # Default-config path (fanout 1 or 2), fully unrolled:
+                # no targets tuple, and Peer.enqueue_send inlined.  One
+                # ADDR object per record, shared by both targets — the
+                # message is immutable in flight, so relaying the same
+                # instance twice is indistinguishable from two copies.
+                forwarded = None
+                known = first.known_addrs
+                if addr not in known:
+                    known.add(addr)
+                    forwarded = (
+                        reusable
+                        if reusable is not None
+                        else Addr(addresses=(record,))
+                    )
+                    first.send_queue.append(forwarded)
+                    loop = first.loop
+                    if loop is not None:
+                        loop.dirty_send[first] = None
+                if second is not None:
+                    known = second.known_addrs
+                    if addr not in known:
+                        known.add(addr)
+                        if forwarded is None:
+                            forwarded = (
+                                reusable
+                                if reusable is not None
+                                else Addr(addresses=(record,))
+                            )
+                        second.send_queue.append(forwarded)
+                        loop = second.loop
+                        if loop is not None:
+                            loop.dirty_send[second] = None
+                continue
+            # pragma-rare: non-default fanout config (> 2 targets).
+            rest = self._rng.sample(
+                [
+                    peer
+                    for peer in pool
+                    if peer is not origin
+                    and peer is not first
+                    and peer is not second
+                ],
+                fanout - 2,
+            )
+            targets = (first, second, *rest)
+            forwarded = None
+            for peer in targets:
+                if addr in peer.known_addrs:
                     continue
-                peer.known_addrs.add(record.addr)
-                peer.enqueue_send(Addr(addresses=(record,)))
+                peer.known_addrs.add(addr)
+                if forwarded is None:
+                    forwarded = (
+                        reusable if reusable is not None else Addr(addresses=(record,))
+                    )
+                peer.enqueue_send(forwarded)
 
     def _handle_inv(self, peer: Peer, message: Inv) -> None:
         wanted: List[InvItem] = []
@@ -597,7 +714,7 @@ class BitcoinNode(NodeBehavior):
         if not self.running:
             return
         for peer in self.established_peers:
-            peer.enqueue_send(GetAddr())
+            peer.enqueue_send(GETADDR)
         self.handlers.wake()
 
     def _send_ping_round(self) -> None:

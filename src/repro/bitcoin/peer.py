@@ -15,17 +15,21 @@ trickle timers, compact-block negotiation).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Set
+from typing import TYPE_CHECKING, Deque, Optional, Set
 
 from ..simnet.addresses import NetAddr
 from ..simnet.transport import Socket
 from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .handler import HandlerLoop
 
 
 class Peer:
     """One established connection, from this node's point of view."""
 
     __slots__ = (
+        "loop",
         "socket",
         "remote_addr",
         "is_inbound",
@@ -50,7 +54,15 @@ class Peer:
         "blocks_in_flight",
     )
 
-    def __init__(self, socket: Socket, connected_at: float) -> None:
+    def __init__(
+        self,
+        socket: Socket,
+        connected_at: float,
+        loop: Optional["HandlerLoop"] = None,
+    ) -> None:
+        #: The owning node's handler loop; enqueues register this peer in
+        #: its dirty maps so a pass only visits peers with queued work.
+        self.loop = loop
         self.socket = socket
         self.remote_addr: NetAddr = socket.remote_addr
         self.is_inbound: bool = socket.is_inbound
@@ -95,6 +107,16 @@ class Peer:
             self.send_queue.appendleft(message)
         else:
             self.send_queue.append(message)
+        loop = self.loop
+        if loop is not None:
+            loop.dirty_send[self] = None
+
+    def enqueue_process(self, message: Message) -> None:
+        """Append a received message to vProcessMsg (socket-handler side)."""
+        self.process_queue.append(message)
+        loop = self.loop
+        if loop is not None:
+            loop.dirty_process[self] = None
 
     def __repr__(self) -> str:
         state = "established" if self.established else "handshaking"

@@ -23,6 +23,11 @@ the same config is a cache hit.
 compiles a deterministic fault plan onto every run; ``--seed-timeout``
 and ``--retries`` tune the supervised runner that multi-seed sweeps
 execute under.
+
+``--profile [OUT]`` (same three commands) runs the whole command under
+cProfile and writes the hotspot ranking to ``OUT.txt``/``OUT.json``
+(see ``repro.perf.profiler``) — the first step of any performance
+investigation (docs/architecture.md, "The hot path").
 """
 
 from __future__ import annotations
@@ -565,6 +570,16 @@ def _fault_flags(p: argparse.ArgumentParser) -> None:
     _supervisor_flags(p)
 
 
+def _profile_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile", nargs="?", const="repro-profile", default=None,
+        metavar="OUT",
+        help="run under cProfile; write hotspots to OUT.txt and OUT.json "
+        "(default OUT: repro-profile).  Figures are unchanged — only "
+        "wall time is (profiled loops run ~2x slower).",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -603,6 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume this run id from its last checkpoint",
     )
     _fault_flags(campaign)
+    _profile_flag(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     sync = sub.add_parser("sync", help="run the Fig. 1 churn contrast")
@@ -624,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sync.add_argument("--export", type=str, default=None, metavar="DIR")
     _fault_flags(sync)
+    _profile_flag(sync)
     sync.set_defaults(func=_cmd_sync)
 
     chaos = sub.add_parser(
@@ -655,6 +672,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--export", type=str, default=None, metavar="DIR")
     _supervisor_flags(chaos)
+    _profile_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     relay = sub.add_parser("relay", help="run the Fig. 10/11 relay experiment")
@@ -713,6 +731,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    profile_out = getattr(args, "profile", None)
+    if profile_out:
+        from .perf.profiler import profile_to
+
+        with profile_to(profile_out):
+            return args.func(args)
     return args.func(args)
 
 

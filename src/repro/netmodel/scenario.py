@@ -69,11 +69,21 @@ class LightCloud:
     transport instead of a raw probe-behavior table entry.  The
     transport answers connects and probes identically either way, which
     is what makes full and hybrid runs of the same seed bit-identical.
+
+    Endpoints are additionally grouped into **shards** by /16 netgroup
+    (the latency model's locality unit).  A shard is the unit the fast
+    path reasons about: every endpoint in a shard shares one latency
+    base per remote group and one behaviour profile per class, so
+    shard-level operations (bulk retargeting at a churn epoch, census)
+    run O(shards touched) instead of O(endpoints).  Sharding is pure
+    bookkeeping — it never changes which endpoint answers or when.
     """
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.nodes: Dict[NetAddr, LightNode] = {}
+        #: group16 -> {addr: LightNode}, in install order within a shard.
+        self.shards: Dict[int, Dict[NetAddr, LightNode]] = {}
 
     def install(self, addr: NetAddr, behavior: ProbeBehavior) -> None:
         """NAT-model endpoint factory: create or retarget a light node."""
@@ -82,8 +92,32 @@ class LightCloud:
             node = LightNode(self.sim, addr, behavior=behavior)
             node.start()
             self.nodes[addr] = node
+            self.shards.setdefault(addr.group16, {})[addr] = node
         else:
             node.behavior = behavior
+
+    def shard_of(self, addr: NetAddr) -> Dict[NetAddr, LightNode]:
+        """The endpoints sharing ``addr``'s netgroup (empty if none)."""
+        return self.shards.get(addr.group16, {})
+
+    def retarget_shard(self, group16: int, behavior: ProbeBehavior) -> int:
+        """Point every endpoint in one shard at ``behavior``.
+
+        The batched form of calling :meth:`install` per address when a
+        whole netgroup changes class at once (AS-level events: a
+        provider block going dark, a partition healing).  Returns the
+        number of endpoints retargeted.
+        """
+        shard = self.shards.get(group16)
+        if not shard:
+            return 0
+        for node in shard.values():
+            node.behavior = behavior
+        return len(shard)
+
+    def shard_census(self) -> Dict[int, int]:
+        """Endpoint count per shard (diagnostic)."""
+        return {group: len(shard) for group, shard in self.shards.items()}
 
     def __len__(self) -> int:
         return len(self.nodes)

@@ -16,12 +16,15 @@ or globally with ``REPRO_PERF=1`` in the environment.
 """
 
 from .memory import MemorySample, live_object_count, read_memory
+from .profiler import hotspot_rows, profile_to
 from .recorder import PerfRecorder, perf_enabled_by_env
 
 __all__ = [
     "MemorySample",
     "PerfRecorder",
+    "hotspot_rows",
     "live_object_count",
     "perf_enabled_by_env",
+    "profile_to",
     "read_memory",
 ]

@@ -22,6 +22,23 @@ __all__ = ["MemorySample", "live_object_count", "read_memory"]
 _PROC_STATUS = "/proc/self/status"
 
 
+def _trim_heap() -> None:
+    """Ask glibc to return freed heap pages to the kernel.
+
+    ``gc.collect()`` alone does not move ``VmRSS``: the allocator keeps
+    the freed pages, so an end-of-run reading still sits at the
+    high-water mark.  ``malloc_trim`` releases them, making ``VmRSS``
+    reflect what the live object graph actually retains.  Best-effort:
+    silently a no-op off glibc.
+    """
+    try:
+        import ctypes
+
+        ctypes.CDLL("libc.so.6").malloc_trim(0)
+    except (OSError, AttributeError):  # pragma: no cover - non-glibc
+        pass
+
+
 @dataclass(frozen=True, slots=True)
 class MemorySample:
     """One reading of the process's memory state."""
@@ -70,12 +87,24 @@ def live_object_count() -> int:
     return len(gc.get_objects())
 
 
-def read_memory(count_objects: bool = True) -> MemorySample:
+def read_memory(count_objects: bool = True, collect: bool = False) -> MemorySample:
     """Sample the process's memory state.
 
     ``count_objects=False`` skips the gc walk (it is O(live objects),
     noticeable when called inside a tight loop).
+
+    ``collect=True`` runs ``gc.collect()`` and a heap trim before
+    reading, so ``rss_bytes`` measures *retained* memory — what the
+    run's object graph actually holds — rather than whatever garbage
+    happened to be pending.  Without this an end-of-run reading lands
+    exactly at the high-water mark and ``rss_bytes`` just duplicates
+    ``peak_rss_bytes``; with it the two answer different questions
+    (steady-state footprint vs transient peak).  The collection only
+    affects measurement state, never event order.
     """
+    if collect:
+        gc.collect()
+        _trim_heap()
     rss, peak = _read_proc_status()
     if peak is None:
         peak = _rusage_peak()

@@ -22,6 +22,17 @@ its structures when dead entries outnumber live ones, so a cancel-heavy
 workload cannot grow the heaps without bound, and both backends maintain
 a live-event counter so :attr:`pending` reports live events only (the
 raw heap size stays available as :attr:`pending_raw`).
+
+Both backends additionally carry a **fast lane** for the homogeneous
+light-tier traffic the transport emits in bulk (connect refusals and
+timeouts, probe answers): :meth:`_SchedulerBase.lane_schedule` stores a
+bare ``(when, seq, fire, payload)`` tuple — no :class:`EventHandle`
+allocation, no cancellation support — and the dispatch loops merge the
+lane against the regular queue by ``(when, seq)``.  Lane entries draw
+from the same global sequence counter as regular events, so enabling the
+lane changes *where* an event is stored but never *when* it fires: the
+merged dispatch order is bit-identical to scheduling the same callbacks
+on the regular queue (pinned by the fast-path equivalence tests).
 """
 
 from __future__ import annotations
@@ -112,11 +123,52 @@ class _SchedulerBase:
     _live: int
     _dead: int
     _fired: int
+    _seq: int
     _compact_min: Optional[int]
+    scheduled_total: int
+    #: The no-cancel fast lane: ``(when, seq, fire, payload)`` tuples.
+    _lane_heap: List[tuple]
 
     #: Optional :class:`repro.perf.PerfRecorder`; when ``None`` the
     #: dispatch loops take the uninstrumented fast path.
     perf = None
+
+    def lane_schedule(
+        self, delay: float, fire: Callable[[Any], Any], payload: Any
+    ) -> None:
+        """Schedule ``fire(payload)`` on the no-cancel fast lane.
+
+        The lane carries the light-tier answer traffic (connect refusals
+        and timeouts, probe results), which is never cancelled, so the
+        entry is a bare tuple instead of an :class:`EventHandle`.  The
+        sequence number comes from the shared counter, which is what
+        guarantees the merged dispatch order matches the regular queue.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._lane_heap, (self._clock._now + delay, seq, fire, payload)
+        )
+        self._live += 1
+        self.scheduled_total += 1
+
+    def lane_schedule_at(
+        self, when: float, fire: Callable[[Any], Any], payload: Any
+    ) -> None:
+        """:meth:`lane_schedule` with an absolute fire time.
+
+        The transport computes arrival times directly (latency plus the
+        per-direction FIFO clamp), so the lane must take the exact float
+        rather than a delay — ``now + (when - now)`` can differ in the
+        last ulp, which would make fast-path runs drift from the regular
+        queue.  Callers guarantee ``when >= now``, as the regular
+        ``schedule_at`` would otherwise have raised.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._lane_heap, (when, seq, fire, payload))
+        self._live += 1
+        self.scheduled_total += 1
 
     @property
     def fired(self) -> int:
@@ -192,6 +244,7 @@ class Scheduler(_SchedulerBase):
         self._wheel: List[List[tuple]] = [[] for _ in range(slots)]
         self._wheel_size = 0
         self._far: List[tuple] = []
+        self._lane_heap = []
         #: Absolute slot number the next wheel scan resumes from; pulled
         #: back whenever an insert lands behind it.
         self._cursor = 0
@@ -208,7 +261,7 @@ class Scheduler(_SchedulerBase):
     @property
     def pending_raw(self) -> int:
         """Stored entries including lazily cancelled ones (heap size)."""
-        return self._wheel_size + len(self._far)
+        return self._wheel_size + len(self._far) + len(self._lane_heap)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -291,6 +344,7 @@ class Scheduler(_SchedulerBase):
             return self._run_until_instrumented(when, max_events)
         clock = self._clock
         far = self._far  # stable: compaction rewrites it in place
+        lane = self._lane_heap
         wheel = self._wheel
         n = self._slots
         inv_g = self._inv_granularity
@@ -331,6 +385,29 @@ class Scheduler(_SchedulerBase):
             if far and (entry is None or far[0] < entry):
                 entry = far[0]
                 slot = None
+            if lane and lane[0][0] <= when and (entry is None or lane[0] < entry):
+                # --- batch-drain the fast lane ---
+                # Every lane entry ahead of the located regular head can
+                # fire without re-scanning the wheel, UNLESS a lane
+                # callback schedules new work: a fresh event may land
+                # before the stale bound, so the drain re-locates as soon
+                # as ``scheduled_total`` moves (the dirty check).
+                sched_mark = self.scheduled_total
+                while lane:
+                    lentry = lane[0]
+                    if lentry[0] > when or (
+                        entry is not None and entry < lentry
+                    ):
+                        break
+                    heappop(lane)
+                    clock._now = lentry[0]
+                    self._fired += 1
+                    self._live -= 1
+                    lentry[2](lentry[3])
+                    dispatched += 1
+                    if dispatched == cap or self.scheduled_total != sched_mark:
+                        break
+                continue
             if entry is None:
                 break
             event_time = entry[0]
@@ -368,12 +445,15 @@ class Scheduler(_SchedulerBase):
             if entry is None or entry[0] > when:
                 break
             self._pop_entry(entry)
-            handle = entry[2]
             clock._now = entry[0]
-            handle._sched = None
             self._fired += 1
             self._live -= 1
-            perf.dispatch(handle.callback, handle.args, self.pending_raw)
+            if len(entry) == 4:  # lane entry: (when, seq, fire, payload)
+                perf.dispatch(entry[2], (entry[3],), self.pending_raw)
+            else:
+                handle = entry[2]
+                handle._sched = None
+                perf.dispatch(handle.callback, handle.args, self.pending_raw)
             dispatched += 1
         else:
             return dispatched, True
@@ -413,11 +493,18 @@ class Scheduler(_SchedulerBase):
                 raise SimulationError("timer wheel scan overran one revolution")
             self._cursor = cursor
         if far and (entry is None or far[0] < entry):
-            return far[0]
+            entry = far[0]
+        lane = self._lane_heap
+        if lane and (entry is None or lane[0] < entry):
+            return lane[0]
         return entry
 
     def _pop_entry(self, entry: tuple) -> None:
         """Remove ``entry`` — must be the tuple `_next_entry` returned."""
+        lane = self._lane_heap
+        if lane and lane[0] is entry:
+            heapq.heappop(lane)
+            return
         far = self._far
         if far and far[0] is entry:
             heapq.heappop(far)
@@ -464,6 +551,7 @@ class HeapScheduler(_SchedulerBase):
     ) -> None:
         self._clock = clock
         self._heap: List[EventHandle] = []
+        self._lane_heap = []
         self._seq = 0
         self._fired = 0
         self._live = 0
@@ -476,7 +564,7 @@ class HeapScheduler(_SchedulerBase):
     @property
     def pending_raw(self) -> int:
         """Stored entries including lazily cancelled ones (heap size)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._lane_heap)
 
     def schedule_at(
         self, when: float, callback: Callable[..., Any], *args: Any
@@ -508,11 +596,32 @@ class HeapScheduler(_SchedulerBase):
     ) -> Tuple[int, bool]:
         """Seed-style loop: peek the head, then pop-and-dispatch it."""
         clock = self._clock
+        lane = self._lane_heap
         cap = -1 if max_events is None else max_events
         dispatched = 0
         while dispatched != cap:
             self._drop_cancelled_head()
             heap = self._heap
+            if lane and (
+                not heap
+                or lane[0][0] < heap[0].when
+                or (lane[0][0] == heap[0].when and lane[0][1] < heap[0].seq)
+            ):
+                lentry = lane[0]
+                if lentry[0] > when:
+                    break
+                heapq.heappop(lane)
+                clock.advance_to(lentry[0])
+                self._fired += 1
+                self._live -= 1
+                if self.perf is not None:
+                    self.perf.dispatch(
+                        lentry[2], (lentry[3],), len(heap) + len(lane)
+                    )
+                else:
+                    lentry[2](lentry[3])
+                dispatched += 1
+                continue
             if not heap or heap[0].when > when:
                 break
             event = heapq.heappop(heap)
@@ -531,6 +640,8 @@ class HeapScheduler(_SchedulerBase):
 
     def run_next(self) -> bool:
         """Pop and execute the earliest event (seed-faithful hot path)."""
+        if self._lane_heap:
+            return self.run_until(_INF, 1)[0] > 0
         self._drop_cancelled_head()
         heap = self._heap
         if not heap:
@@ -543,17 +654,16 @@ class HeapScheduler(_SchedulerBase):
         event.callback(*event.args)
         return True
 
-    def next_event_time(self) -> Optional[float]:
-        """Time of the earliest pending (non-cancelled) event, or ``None``."""
-        self._drop_cancelled_head()
-        return self._heap[0].when if self._heap else None
-
     def _next_entry(self) -> Optional[tuple]:
         self._drop_cancelled_head()
-        if not self._heap:
-            return None
-        head = self._heap[0]
-        return (head.when, head.seq, head)
+        entry: Optional[tuple] = None
+        if self._heap:
+            head = self._heap[0]
+            entry = (head.when, head.seq, head)
+        lane = self._lane_heap
+        if lane and (entry is None or lane[0] < entry):
+            return lane[0]
+        return entry
 
     def _drop_cancelled_head(self) -> None:
         heap = self._heap

