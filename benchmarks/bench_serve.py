@@ -1,0 +1,206 @@
+"""Serving-layer load benchmark: read-path latency, cold vs warm.
+
+What decides whether the campaign service is a usable front-end to the
+run store is the *read* path: once a campaign is simulated (seconds to
+hours), how fast can N concurrent clients pull its result summary back
+out?  Two regimes matter:
+
+* **cold** — the read cache is disabled, so every request walks the
+  store: manifest load, blob read, SHA-256 verification, checkpoint
+  unpickle, summary render.
+* **warm** — the cache is enabled and pre-warmed, so repeats are pure
+  memory hits behind the same HTTP/routing/metrics machinery.
+
+The bench box is **single-core**, so concurrency here measures queueing
+behavior (does p99 degrade gracefully as clients pile onto one loop?),
+not parallel throughput — clients are pinned at 1/4/16 and the metric
+is per-request latency.  Run it exclusively: any concurrent load on the
+box corrupts the figures.
+
+Also measured: submit-path dedup (a resubmission of a stored campaign
+is answered from the index without simulating — the cache-hit lane the
+whole design exists for).
+
+Run standalone to refresh the tracked numbers::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.serve import CampaignService, Client, ServiceConfig
+
+#: Pinned client counts (single-core box: latency under queueing, not
+#: parallel throughput).
+CONCURRENCY_LEVELS = (1, 4, 16)
+
+#: The benchmark campaign: small enough to simulate in ~1s, real enough
+#: that its result blob exercises verify + unpickle on the cold path.
+SUBMISSION = {
+    "scenario": {"scale": 0.002, "campaign_days": 1.0},
+    "snapshots": 2,
+}
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def _stats(samples: List[float]) -> Dict[str, float]:
+    return {
+        "requests": len(samples),
+        "p50_ms": round(_percentile(samples, 0.50), 3),
+        "p99_ms": round(_percentile(samples, 0.99), 3),
+        "mean_ms": round(sum(samples) / len(samples), 3),
+    }
+
+
+async def _timed_reads(
+    host: str, port: int, path: str, clients: int, per_client: int
+) -> List[float]:
+    """Latency samples (ms) from ``clients`` concurrent keep-alive
+    connections each issuing ``per_client`` sequential reads."""
+
+    async def worker() -> List[float]:
+        samples: List[float] = []
+        async with Client(host, port) as client:
+            for _ in range(per_client):
+                t0 = time.perf_counter()
+                response = await client.request("GET", path)
+                samples.append((time.perf_counter() - t0) * 1000.0)
+                assert response.status == 200, response.status
+        return samples
+
+    batches = await asyncio.gather(*(worker() for _ in range(clients)))
+    return [sample for batch in batches for sample in batch]
+
+
+async def _drain_job(client: Client, job_id: str) -> None:
+    async for _ in client.stream_events(f"/v1/jobs/{job_id}/events"):
+        pass
+
+
+async def _run(per_client: int) -> Dict[str, object]:
+    report: Dict[str, object] = {
+        "workload": {
+            "name": "serve_read_path",
+            "submission": SUBMISSION,
+            "concurrency_levels": list(CONCURRENCY_LEVELS),
+            "reads_per_client": per_client,
+            "note": (
+                "single-core box: latency at pinned concurrency, "
+                "not parallel throughput"
+            ),
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        service = CampaignService(
+            ServiceConfig(store_root=tmp, port=0, log_requests=False)
+        )
+        await service.start()
+        host, port = "127.0.0.1", service.port
+        try:
+            async with Client(host, port) as client:
+                # -- submit path: fresh simulate vs store cache hit ----
+                t0 = time.perf_counter()
+                r = await client.request(
+                    "POST", "/v1/campaigns", body=SUBMISSION
+                )
+                assert r.status == 202, r.status
+                await _drain_job(client, r.json()["id"])
+                fresh_s = time.perf_counter() - t0
+
+                t0 = time.perf_counter()
+                r = await client.request(
+                    "POST", "/v1/campaigns", body=SUBMISSION
+                )
+                resubmit_ms = (time.perf_counter() - t0) * 1000.0
+                assert r.json()["disposition"] == "cached", r.json()
+                run_id = r.json()["runs"][0]["run_id"]
+                report["submit"] = {
+                    "fresh_s": round(fresh_s, 3),
+                    "cached_resubmit_ms": round(resubmit_ms, 3),
+                    "speedup": round(fresh_s * 1000.0 / resubmit_ms, 1),
+                }
+
+                result_path = f"/v1/runs/{run_id}/result"
+
+                # -- read path: cold (cache off) then warm (cache on) --
+                for mode in ("cold", "warm"):
+                    enabled = mode == "warm"
+                    r = await client.request(
+                        "POST", "/v1/admin/cache", body={"enabled": enabled}
+                    )
+                    assert r.status == 200
+                    if enabled:  # pre-warm so every timed read hits
+                        await client.request("GET", result_path)
+                    levels: Dict[str, object] = {}
+                    for clients in CONCURRENCY_LEVELS:
+                        samples = await _timed_reads(
+                            host, port, result_path, clients, per_client
+                        )
+                        levels[f"clients_{clients}"] = _stats(samples)
+                    report[f"read_{mode}"] = levels
+
+                metrics = await client.request("GET", "/v1/metrics")
+                cache = metrics.json()["read_cache"]
+                report["read_cache"] = {
+                    "hits": cache["hits"],
+                    "misses": cache["misses"],
+                    "hit_ratio": cache["hit_ratio"],
+                }
+        finally:
+            await service.shutdown()
+    return report
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=None, help="write BENCH_serve.json-style output here"
+    )
+    parser.add_argument(
+        "--reads-per-client", type=int, default=30,
+        help="sequential timed reads per client connection",
+    )
+    args = parser.parse_args(argv)
+
+    report = asyncio.run(_run(args.reads_per_client))
+
+    cold = report["read_cold"]["clients_1"]["p50_ms"]
+    warm = report["read_warm"]["clients_1"]["p50_ms"]
+    print(f"submit: fresh {report['submit']['fresh_s']}s, cached resubmit "
+          f"{report['submit']['cached_resubmit_ms']}ms "
+          f"({report['submit']['speedup']}x)")
+    for mode in ("cold", "warm"):
+        for level, stats in report[f"read_{mode}"].items():
+            print(f"read {mode:4s} {level:10s} "
+                  f"p50={stats['p50_ms']:8.3f}ms p99={stats['p99_ms']:8.3f}ms")
+    if warm >= cold:
+        print(f"WARNING: warm p50 ({warm}ms) not below cold p50 ({cold}ms)")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ Commands
 ``relay``      the Fig. 10/11 relay-delay measurement
 ``conn``       the Fig. 6/7 connection experiments
 ``store``      inspect the run store (``ls`` / ``show`` / ``gc`` / ``diff``)
+``serve``      run the campaign service over a run store (``repro.serve``)
 ``lint``       determinism & checkpoint-safety static analysis
 
 ``campaign --store DIR`` checkpoints the run into a content-addressed
@@ -34,9 +35,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -527,6 +529,48 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.app import ServiceConfig, run_service
+    from .store import default_store_root
+
+    config = ServiceConfig(
+        store_root=(
+            args.store if args.store is not None else default_store_root()
+        ),
+        host=args.host,
+        port=args.port,
+        slots=args.slots,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        seed_timeout=args.seed_timeout,
+        retries=args.retries,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        quota_runs=args.quota_runs,
+        quota_bytes=(
+            args.quota_mb * 1024 * 1024 if args.quota_mb is not None else None
+        ),
+    )
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+
+    def announce(service: Any) -> None:
+        print(
+            f"serving {config.store_root} on "
+            f"http://{config.host}:{service.port} "
+            f"(slots={config.slots} queue={config.queue_limit})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_service(config, ready=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_store_diff(args: argparse.Namespace) -> int:
     store = _open_store(args)
     report = store.diff(args.run_a, args.run_b)
@@ -716,6 +760,46 @@ def build_parser() -> argparse.ArgumentParser:
     store_diff.add_argument("run_b")
     _store_flag(store_diff)
     store_diff.set_defaults(func=_cmd_store_diff)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve campaigns over HTTP from a run store (repro.serve)",
+    )
+    serve.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="store root (default: $REPRO_STORE or ./repro-store)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8742,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--slots", type=int, default=1, metavar="N",
+        help="concurrent simulating jobs",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="admitted-but-waiting jobs before 429",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="supervisor worker processes per job",
+    )
+    serve.add_argument(
+        "--cache-mb", type=int, default=32, metavar="MB",
+        help="read-cache budget",
+    )
+    serve.add_argument(
+        "--quota-runs", type=int, default=None, metavar="N",
+        help="per-tenant ceiling on fresh runs",
+    )
+    serve.add_argument(
+        "--quota-mb", type=int, default=None, metavar="MB",
+        help="per-tenant ceiling on stored bytes",
+    )
+    _supervisor_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     from .lint.cli import add_lint_arguments
 

@@ -87,7 +87,12 @@ from .sync_experiments import (
     run_2019_vs_2020,
     run_sync_campaign,
 )
-from .supervisor import SupervisedRun, SupervisorConfig, run_supervised
+from .supervisor import (
+    SupervisedRun,
+    SupervisorConfig,
+    SupervisorEvent,
+    run_supervised,
+)
 from .sync_monitor import SyncMonitor, SyncSnapshot, best_height_at
 
 __all__ = [
@@ -126,6 +131,7 @@ __all__ = [
     "SuccessRun",
     "SupervisedRun",
     "SupervisorConfig",
+    "SupervisorEvent",
     "SyncCampaignConfig",
     "SyncCampaignResult",
     "SyncDepartureStats",

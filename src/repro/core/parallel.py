@@ -38,7 +38,12 @@ from ..analysis.kde import DensityEstimate, kde
 from ..errors import CampaignAbortedError, ConfigurationError
 from ..netmodel.scenario import LongitudinalConfig, LongitudinalScenario
 from .pipeline import CampaignConfig, CampaignResult, CampaignRunner
-from .supervisor import SupervisedRun, SupervisorConfig, run_supervised
+from .supervisor import (
+    SupervisedRun,
+    SupervisorConfig,
+    SupervisorEvent,
+    run_supervised,
+)
 from .sync_experiments import (
     SyncCampaignConfig,
     SyncCampaignResult,
@@ -80,6 +85,7 @@ def run_multi_seed_supervised(
     workers: Optional[int] = None,
     supervisor: Optional[SupervisorConfig] = None,
     labels: Optional[Sequence[object]] = None,
+    on_event: Optional[Callable[[SupervisorEvent], None]] = None,
 ) -> SupervisedRun:
     """Run ``task(item)`` per item under supervision; never raises per-seed.
 
@@ -89,12 +95,16 @@ def run_multi_seed_supervised(
     themselves — pass the seed list when items are config objects).
     ``task`` must be picklable (a module-level function or a
     ``functools.partial`` of one) when more than one worker is used.
+    ``on_event`` observes per-item lifecycle transitions
+    (:class:`~repro.core.supervisor.SupervisorEvent`) — the serving
+    layer's progress stream is fed from exactly this hook.
     """
     items = list(items)
     if workers is None:
         workers = default_workers(len(items))
     return run_supervised(
-        task, items, workers, config=supervisor, labels=labels
+        task, items, workers, config=supervisor, labels=labels,
+        on_event=on_event,
     )
 
 

@@ -53,6 +53,60 @@ _TERM_GRACE = 5.0
 #: and backoff edges shorten individual waits below this.
 _POLL_INTERVAL = 0.25
 
+#: Progress event kinds, in lifecycle order.
+EVENT_SCHEDULED = "scheduled"
+EVENT_STARTED = "started"
+EVENT_RETRYING = "retrying"
+EVENT_COMPLETED = "completed"
+EVENT_FAILED = "failed"
+
+#: Kinds after which a task emits nothing further.
+TERMINAL_EVENTS = frozenset({EVENT_COMPLETED, EVENT_FAILED})
+
+#: Longest ``detail`` string an event carries (tracebacks are truncated).
+_DETAIL_LIMIT = 500
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One step in a supervised task's lifecycle.
+
+    Per input item the stream follows a fixed grammar::
+
+        scheduled (started retrying?)* started? (completed | failed)
+
+    concretely: exactly one ``scheduled`` first, one ``started`` per
+    attempt, a ``retrying`` after every attempt that crashed or hung but
+    will be retried, and exactly one terminal ``completed`` / ``failed``
+    last — nothing after the terminal event.  Consumers (the serving
+    layer's progress stream, progress reporting) rely on that grammar;
+    it is pinned by test.
+    """
+
+    kind: str
+    #: Input index of the item this event describes.
+    index: int
+    #: The item's label (the seed, for campaign sweeps).
+    label: Any
+    #: 1-based attempt number (0 on ``scheduled``, which precedes any).
+    attempt: int
+    #: Cause text for ``retrying``/``failed`` (truncated), else "".
+    detail: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.kind in TERMINAL_EVENTS
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able view (labels must already be JSON-able)."""
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "label": self.label,
+            "attempt": self.attempt,
+            "detail": self.detail,
+        }
+
 
 @dataclass
 class SupervisorConfig:
@@ -164,12 +218,14 @@ class Supervisor:
         workers: int,
         config: Optional[SupervisorConfig] = None,
         labels: Optional[Sequence[Any]] = None,
+        on_event: Optional[Callable[[SupervisorEvent], None]] = None,
     ) -> None:
         self.task = task
         self.items = list(items)
         self.workers = max(1, workers)
         self.config = config if config is not None else SupervisorConfig()
         self.config.validate()
+        self.on_event = on_event
         self.labels = list(labels) if labels is not None else list(self.items)
         if len(self.labels) != len(self.items):
             from ..errors import ConfigurationError
@@ -189,7 +245,24 @@ class Supervisor:
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
+    def _emit(self, kind: str, index: int, attempt: int, detail: str = "") -> None:
+        if self.on_event is None:
+            return
+        if len(detail) > _DETAIL_LIMIT:
+            detail = detail[:_DETAIL_LIMIT] + "..."
+        self.on_event(
+            SupervisorEvent(
+                kind=kind,
+                index=index,
+                label=self.labels[index],
+                attempt=attempt,
+                detail=detail,
+            )
+        )
+
     def run(self) -> SupervisedRun:
+        for index in range(len(self.items)):
+            self._emit(EVENT_SCHEDULED, index, 0)
         if self.workers <= 1 or len(self.items) <= 1:
             self._run_all_inline()
         else:
@@ -213,14 +286,18 @@ class Supervisor:
     # ------------------------------------------------------------------
     def _run_one_inline(self, index: int) -> None:
         self._attempts_used[index] += 1
+        attempt = self._attempts_used[index]
+        self._emit(EVENT_STARTED, index, attempt)
         try:
             self._results[index] = self.task(self.items[index])
         except Exception as exc:  # noqa: BLE001 - converted to a record
+            cause = f"{type(exc).__name__}: {exc}"
             self._failures[index] = SeedTaskError(
-                self.labels[index],
-                self._attempts_used[index],
-                f"{type(exc).__name__}: {exc}",
+                self.labels[index], attempt, cause
             )
+            self._emit(EVENT_FAILED, index, attempt, cause)
+            return
+        self._emit(EVENT_COMPLETED, index, attempt)
 
     def _run_all_inline(self) -> None:
         for index in range(len(self.items)):
@@ -292,6 +369,7 @@ class Supervisor:
         if self.config.timeout is not None:
             attempt.deadline = now + self.config.timeout
         self._running.append(attempt)
+        self._emit(EVENT_STARTED, attempt.index, attempt.attempt)
 
     def _wait_timeout(self, now: float) -> float:
         edges = [_POLL_INTERVAL]
@@ -322,11 +400,13 @@ class Supervisor:
         if kind == "ok":
             self._results[attempt.index] = payload
             self._failures.pop(attempt.index, None)
+            self._emit(EVENT_COMPLETED, attempt.index, attempt.attempt)
         else:
             # A clean task exception: deterministic, so never retried.
             self._failures[attempt.index] = SeedTaskError(
                 self.labels[attempt.index], attempt.attempt, payload
             )
+            self._emit(EVENT_FAILED, attempt.index, attempt.attempt, payload)
 
     def _enforce_deadlines(self, now: float) -> None:
         expired = [
@@ -363,10 +443,12 @@ class Supervisor:
                     time.monotonic() + delay,
                 )
             )
+            self._emit(EVENT_RETRYING, attempt.index, attempt.attempt, cause)
             return
         self._failures[attempt.index] = SeedTaskError(
             self.labels[attempt.index], attempt.attempt, cause
         )
+        self._emit(EVENT_FAILED, attempt.index, attempt.attempt, cause)
 
 
 def run_supervised(
@@ -375,6 +457,9 @@ def run_supervised(
     workers: int,
     config: Optional[SupervisorConfig] = None,
     labels: Optional[Sequence[Any]] = None,
+    on_event: Optional[Callable[[SupervisorEvent], None]] = None,
 ) -> SupervisedRun:
     """One-shot convenience wrapper around :class:`Supervisor`."""
-    return Supervisor(task, items, workers, config=config, labels=labels).run()
+    return Supervisor(
+        task, items, workers, config=config, labels=labels, on_event=on_event
+    ).run()

@@ -116,3 +116,33 @@ class LintError(ReproError):
 
 class CheckpointError(StoreError):
     """A checkpoint payload is corrupt, truncated, or of the wrong kind."""
+
+
+class ReadOnlyStoreError(StoreError):
+    """A write against a store whose root refuses writes (EROFS/EACCES).
+
+    Distinct from plain :class:`StoreError` so callers can tell "this
+    deployment cannot accept writes right now" from "this store is
+    corrupt": the serving layer maps it to *503 Service Unavailable*
+    (retryable) instead of a generic 500.
+    """
+
+
+class ServeError(ReproError):
+    """Base class for campaign-serving-layer failures."""
+
+
+class ServiceBusyError(ServeError):
+    """Submissions exceed the service's worker slots + queue budget.
+
+    Carries ``retry_after`` (seconds), which the HTTP layer surfaces as
+    a *429* response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QuotaExceededError(ServeError):
+    """A tenant is over its run-count or stored-bytes quota (HTTP 403)."""

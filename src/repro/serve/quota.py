@@ -1,0 +1,155 @@
+"""Per-tenant accounting and quotas for the serving layer.
+
+Tenancy is deliberately lightweight: the tenant is whatever the
+``X-Repro-Tenant`` request header says (default ``"anon"``) — the
+service does authorization bookkeeping, not authentication.  The ledger
+tracks, per tenant, how many *fresh* runs were submitted (cache hits are
+free: they cost the store nothing) and how many blob bytes those runs
+pinned into the store, and enforces optional ceilings on both.
+
+The ledger lives at ``<store root>/tenants.json`` so accounting survives
+service restarts alongside the data it accounts for; writes are atomic
+(tmp + ``os.replace``) like every other store write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..errors import QuotaExceededError, StoreError
+from ..store.blobs import reject_read_only
+from ..store.wallclock import now as wall_now
+
+LEDGER_NAME = "tenants.json"
+DEFAULT_TENANT = "anon"
+
+
+class TenantLedger:
+    """Durable per-tenant usage counters with optional ceilings."""
+
+    def __init__(
+        self,
+        store_root: Path,
+        max_runs: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.path = Path(store_root) / LEDGER_NAME
+        self.max_runs = max_runs
+        self.max_bytes = max_bytes
+        self._usage: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise StoreError(f"corrupt tenant ledger {self.path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise StoreError(f"corrupt tenant ledger {self.path}: not an object")
+        self._usage = data
+
+    def _save(self) -> None:
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.path.parent, prefix=".tmp-tenants-", suffix=".json"
+            )
+        except OSError as exc:
+            reject_read_only(exc, self.path.parent, "write the tenant ledger")
+            raise
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._usage, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            os.replace(tmp_name, self.path)
+        except BaseException as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            if isinstance(exc, OSError):
+                reject_read_only(
+                    exc, self.path.parent, "write the tenant ledger"
+                )
+            raise
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _row(self, tenant: str) -> Dict[str, Any]:
+        row = self._usage.get(tenant)
+        if row is None:
+            row = self._usage[tenant] = {
+                "runs_submitted": 0,
+                "bytes_stored": 0,
+                "updated_at": wall_now(),
+            }
+        return row
+
+    def charge_runs(self, tenant: str, fresh_runs: int) -> None:
+        """Account ``fresh_runs`` new simulations; raise over quota.
+
+        The check is *pre*-charge: a submission that would cross either
+        ceiling is refused whole rather than partially admitted.
+        """
+        if fresh_runs <= 0:
+            return
+        row = self._row(tenant)
+        if (
+            self.max_runs is not None
+            and row["runs_submitted"] + fresh_runs > self.max_runs
+        ):
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is over its run quota "
+                f"({row['runs_submitted']} used + {fresh_runs} requested "
+                f"> {self.max_runs} allowed)"
+            )
+        if (
+            self.max_bytes is not None
+            and row["bytes_stored"] >= self.max_bytes
+        ):
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is over its storage quota "
+                f"({row['bytes_stored']} bytes used, "
+                f"{self.max_bytes} allowed)"
+            )
+        row["runs_submitted"] += fresh_runs
+        row["updated_at"] = wall_now()
+        self._save()
+
+    def add_bytes(self, tenant: str, n_bytes: int) -> None:
+        """Account blob bytes a tenant's completed runs pinned."""
+        if n_bytes <= 0:
+            return
+        row = self._row(tenant)
+        row["bytes_stored"] += n_bytes
+        row["updated_at"] = wall_now()
+        self._save()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def usage(self, tenant: str) -> Dict[str, Any]:
+        row = self._usage.get(tenant)
+        return dict(row) if row is not None else {
+            "runs_submitted": 0, "bytes_stored": 0, "updated_at": None,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "limits": {"max_runs": self.max_runs, "max_bytes": self.max_bytes},
+            "tenants": {
+                tenant: dict(row)
+                for tenant, row in sorted(self._usage.items())
+            },
+        }

@@ -10,15 +10,31 @@ of the same content race harmlessly (both produce identical bytes).
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import tempfile
 from pathlib import Path
 from typing import Iterator, Union
 
-from ..errors import StoreError
+from ..errors import ReadOnlyStoreError, StoreError
 
 PathLike = Union[str, Path]
+
+#: errno values meaning "the filesystem refused the write", as opposed
+#: to a corrupt store or a programming error.
+_READ_ONLY_ERRNOS = (errno.EROFS, errno.EACCES, errno.EPERM)
+
+
+def reject_read_only(exc: OSError, root: PathLike, action: str) -> None:
+    """Re-raise ``exc`` as :class:`ReadOnlyStoreError` when it denotes a
+    read-only/permission-denied store root; otherwise let it propagate
+    untouched by returning."""
+    if exc.errno in _READ_ONLY_ERRNOS:
+        raise ReadOnlyStoreError(
+            f"store root {os.fspath(root)!r} is not writable "
+            f"(cannot {action}): {exc}"
+        ) from exc
 
 
 def sha256_hex(data: bytes) -> str:
@@ -32,7 +48,11 @@ class BlobStore:
     def __init__(self, root: PathLike) -> None:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
-        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            self.objects_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            reject_read_only(exc, self.root, "create objects/")
+            raise
 
     def _path(self, digest: str) -> Path:
         if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
@@ -48,19 +68,25 @@ class BlobStore:
         path = self._path(digest)
         if path.exists():
             return digest
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".blob"
-        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".blob"
+            )
+        except OSError as exc:
+            reject_read_only(exc, self.root, "write a blob")
+            raise
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                reject_read_only(exc, self.root, "write a blob")
             raise
         return digest
 
@@ -85,6 +111,9 @@ class BlobStore:
             path.unlink()
         except FileNotFoundError:
             return False
+        except OSError as exc:
+            reject_read_only(exc, self.root, "delete a blob")
+            raise
         return True
 
     # ------------------------------------------------------------------

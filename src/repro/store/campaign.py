@@ -155,6 +155,12 @@ def run_stored_campaign(
     the supplied config — resuming under a different configuration would
     silently change the experiment.  ``force=True`` re-executes a
     complete run instead of returning the cached result.
+
+    A store root the filesystem refuses to write (read-only mount,
+    permission denial) surfaces as
+    :class:`~repro.errors.ReadOnlyStoreError` rather than a raw
+    ``OSError``, so operational callers (the serving layer) can answer
+    "temporarily unavailable" instead of "internal error".
     """
     if isinstance(store, (str, os.PathLike)):
         store = RunStore(store)

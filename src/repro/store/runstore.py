@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import StoreError
-from .blobs import BlobStore
+from .blobs import BlobStore, reject_read_only
 from .manifest import RunManifest
 
 PathLike = Union[str, Path]
@@ -46,7 +46,11 @@ class RunStore:
         self.root = Path(root)
         self.blobs = BlobStore(self.root)
         self.runs_dir = self.root / "runs"
-        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            self.runs_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            reject_read_only(exc, self.root, "create runs/")
+            raise
         self.index_path = self.root / "index.json"
 
     # ------------------------------------------------------------------
@@ -69,18 +73,24 @@ class RunStore:
     def save_manifest(self, manifest: RunManifest) -> None:
         """Atomically persist ``manifest`` and refresh the index."""
         path = self._manifest_path(manifest.run_id)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.runs_dir, prefix=".tmp-", suffix=".json"
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.runs_dir, prefix=".tmp-", suffix=".json"
+            )
+        except OSError as exc:
+            reject_read_only(exc, self.root, "write a manifest")
+            raise
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(manifest.to_json())
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                reject_read_only(exc, self.root, "write a manifest")
             raise
         self._write_index()
 
@@ -143,9 +153,13 @@ class RunStore:
 
     def _write_index(self) -> None:
         rows = self.index()
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-index-", suffix=".json"
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-index-", suffix=".json"
+            )
+        except OSError as exc:
+            reject_read_only(exc, self.root, "refresh the index")
+            raise
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(rows, handle, sort_keys=True, indent=2)

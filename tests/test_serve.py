@@ -1,0 +1,368 @@
+"""Tests for the campaign service (repro.serve).
+
+Each test boots a real service on an ephemeral port and talks to it
+over the wire through :class:`repro.serve.client.Client` — the HTTP
+layer, routing, streaming, and error mapping are all exercised for
+real, not mocked.  Campaigns use the tiny test scenario (scale=0.002,
+2 snapshots, ~1s fresh) so the suite stays fast on one core.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import CampaignService, Client, ServiceConfig
+from repro.store import RunStore
+
+#: The tiny campaign used throughout; fresh ~1s, cached ~ms.
+TINY = {"scenario": {"scale": 0.002, "campaign_days": 1.0}, "snapshots": 2}
+
+
+def tiny(**overrides):
+    spec = {"scenario": dict(TINY["scenario"]), "snapshots": 2}
+    spec.update(overrides)
+    return spec
+
+
+def with_service(tmp_path, body, **config_kwargs):
+    """Boot a service on an ephemeral port, run ``body(service, client)``."""
+
+    async def main():
+        config = ServiceConfig(
+            store_root=str(tmp_path / "store"),
+            port=0,
+            log_requests=False,
+            **config_kwargs,
+        )
+        service = CampaignService(config)
+        await service.start()
+        try:
+            async with Client("127.0.0.1", service.port) as client:
+                return await body(service, client)
+        finally:
+            await service.shutdown()
+
+    return asyncio.run(main())
+
+
+async def stream_to_end(client, job_id, after=0):
+    events = []
+    async for ev in client.stream_events(
+        f"/v1/jobs/{job_id}/events?after={after}"
+    ):
+        events.append(ev)
+    return events
+
+
+class TestSubmitStreamFetch:
+    def test_full_round_trip(self, tmp_path):
+        async def body(service, client):
+            r = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r.status == 202
+            payload = r.json()
+            assert payload["disposition"] == "queued"
+            job_id = payload["id"]
+
+            events = await stream_to_end(client, job_id)
+            kinds = [ev["kind"] for ev in events]
+            assert kinds[0] == "job-queued"
+            assert kinds[-1] == "job-complete"
+            # Per-seed supervisor events came through in grammar order.
+            assert kinds.index("scheduled") < kinds.index("started")
+            assert kinds.index("started") < kinds.index("completed")
+            # Sequence numbers are contiguous from 0 (seq == how many
+            # events precede it, matching the ?after= cursor).
+            assert [ev["seq"] for ev in events] == list(range(len(events)))
+
+            r = await client.request("GET", f"/v1/jobs/{job_id}")
+            desc = r.json()
+            assert desc["status"] == "complete"
+            (run,) = desc["runs"]
+            assert run["status"] == "complete"
+
+            r = await client.request("GET", f"/v1/runs/{run['run_id']}/result")
+            assert r.status == 200
+            result = r.json()
+            assert result["status"] == "complete"
+            assert result["snapshots"] == 2
+            assert len(result["fig4"]["per_snapshot"]) == 2
+
+            r = await client.request(
+                "GET",
+                f"/v1/runs/{run['run_id']}/export/campaign_series.csv",
+            )
+            assert r.status == 200
+            assert r.body.startswith(b"snapshot,time_s,")
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_event_replay_from_offset(self, tmp_path):
+        async def body(service, client):
+            r = await client.request("POST", "/v1/campaigns", body=tiny())
+            job_id = r.json()["id"]
+            full = await stream_to_end(client, job_id)
+            # Replay after the first two events: same tail, same seqs.
+            tail = await stream_to_end(client, job_id, after=2)
+            assert [ev["seq"] for ev in tail] == [
+                ev["seq"] for ev in full[2:]
+            ]
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_runs_and_manifest_endpoints(self, tmp_path):
+        async def body(service, client):
+            r = await client.request("POST", "/v1/campaigns", body=tiny())
+            job_id = r.json()["id"]
+            await stream_to_end(client, job_id)
+            r = await client.request("GET", "/v1/runs")
+            index = r.json()["runs"]
+            assert len(index) == 1
+            (run_id,) = index
+            r = await client.request("GET", f"/v1/runs/{run_id}")
+            manifest = r.json()
+            assert manifest["run_id"] == run_id
+            assert manifest["status"] == "complete"
+            # The raw result blob is fetchable by digest.
+            r = await client.request(
+                "GET", f"/v1/blobs/{manifest['result_digest']}"
+            )
+            assert r.status == 200
+            assert len(r.body) > 0
+            return None
+
+        with_service(tmp_path, body)
+
+
+class TestDeduplication:
+    def test_two_identical_submissions_one_simulation(self, tmp_path):
+        """The acceptance path: same config twice -> ONE simulation run,
+        TWO successful result fetches."""
+
+        async def body(service, client):
+            r1 = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r1.status == 202
+            assert r1.json()["disposition"] == "queued"
+            await stream_to_end(client, r1.json()["id"])
+
+            r2 = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r2.status == 200
+            assert r2.json()["disposition"] == "cached"
+            assert r2.json()["status"] == "complete"
+
+            # Both jobs point at the same run; fetch its result twice.
+            run_ids = {
+                run["run_id"]
+                for payload in (r1.json(), r2.json())
+                for run in payload["runs"]
+            }
+            assert len(run_ids) == 1
+            (run_id,) = run_ids
+            for _ in range(2):
+                r = await client.request("GET", f"/v1/runs/{run_id}/result")
+                assert r.status == 200
+
+            m = (await client.request("GET", "/v1/metrics")).json()
+            assert m["submissions"]["cache_hits"] == 1
+            assert m["submissions"]["misses"] == 1
+            assert m["submissions"]["hit_ratio"] == 0.5
+            return None
+
+        with_service(tmp_path, body)
+        # Exactly one manifest in the store: one simulation ever ran.
+        store = RunStore(str(tmp_path / "store"))
+        assert len(store.manifests()) == 1
+
+    def test_identical_inflight_submission_joins(self, tmp_path):
+        async def body(service, client):
+            r1 = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r1.json()["disposition"] == "queued"
+            # Same config while the first is still simulating: join it.
+            r2 = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r2.status == 200
+            assert r2.json()["disposition"] == "joined"
+            assert r2.json()["id"] == r1.json()["id"]
+            await stream_to_end(client, r1.json()["id"])
+            return None
+
+        with_service(tmp_path, body)
+        store = RunStore(str(tmp_path / "store"))
+        assert len(store.manifests()) == 1
+
+
+class TestBackpressureAndQuota:
+    def test_busy_service_returns_429_with_retry_after(self, tmp_path):
+        async def body(service, client):
+            r1 = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r1.status == 202
+            # Different config while the only slot is busy and the
+            # queue is zero-length: explicit backpressure.
+            other = tiny(seeds=[99])
+            r2 = await client.request("POST", "/v1/campaigns", body=other)
+            assert r2.status == 429
+            assert r2.headers["retry-after"] == "3"
+            await stream_to_end(client, r1.json()["id"])
+            m = (await client.request("GET", "/v1/metrics")).json()
+            assert m["submissions"]["rejected_busy"] == 1
+            return None
+
+        with_service(
+            tmp_path, body, slots=1, queue_limit=0, retry_after=3.0
+        )
+
+    def test_quota_exceeded_returns_403_but_cached_is_free(self, tmp_path):
+        async def body(service, client):
+            r1 = await client.request("POST", "/v1/campaigns", body=tiny())
+            await stream_to_end(client, r1.json()["id"])
+            # A second fresh run would cross max_runs=1 -> 403.
+            r2 = await client.request(
+                "POST", "/v1/campaigns", body=tiny(seeds=[99])
+            )
+            assert r2.status == 403
+            assert "quota" in r2.json()["error"]
+            # The identical (cached) submission costs nothing.
+            r3 = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r3.status == 200
+            assert r3.json()["disposition"] == "cached"
+            q = (await client.request("GET", "/v1/admin/quota")).json()
+            assert q["tenants"]["anon"]["runs_submitted"] == 1
+            assert q["tenants"]["anon"]["bytes_stored"] > 0
+            m = (await client.request("GET", "/v1/metrics")).json()
+            assert m["submissions"]["rejected_quota"] == 1
+            return None
+
+        with_service(tmp_path, body, quota_runs=1)
+
+    def test_tenants_are_accounted_separately(self, tmp_path):
+        async def body(service, client):
+            r = await client.request(
+                "POST", "/v1/campaigns", body=tiny(),
+                headers={"X-Repro-Tenant": "alice"},
+            )
+            await stream_to_end(client, r.json()["id"])
+            q = (await client.request("GET", "/v1/admin/quota")).json()
+            assert q["tenants"]["alice"]["runs_submitted"] == 1
+            assert "anon" not in q["tenants"]
+            return None
+
+        with_service(tmp_path, body)
+
+
+class TestValidation:
+    def test_unknown_scenario_field_is_400(self, tmp_path):
+        async def body(service, client):
+            bad = {"scenario": {"scale": 0.002, "sclae": 1}}
+            r = await client.request("POST", "/v1/campaigns", body=bad)
+            assert r.status == 400
+            assert "sclae" in r.json()["error"]
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_malformed_json_is_400(self, tmp_path):
+        async def body(service, client):
+            r = await client.request(
+                "POST", "/v1/campaigns", body=b"{not json"
+            )
+            assert r.status == 400
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_bad_seeds_are_400(self, tmp_path):
+        async def body(service, client):
+            for seeds in ([], [1, 1], ["x"], [True]):
+                r = await client.request(
+                    "POST", "/v1/campaigns", body=tiny(seeds=seeds)
+                )
+                assert r.status == 400, seeds
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_unknown_routes_and_ids_are_404(self, tmp_path):
+        async def body(service, client):
+            for path in (
+                "/v1/nope",
+                "/v1/jobs/job-missing",
+                "/v1/runs/campaign-missing",
+                "/v1/runs/campaign-missing/result",
+            ):
+                r = await client.request("GET", path)
+                assert r.status == 404, path
+            with pytest.raises(ConnectionError):
+                await stream_to_end(client, "job-missing")
+            return None
+
+        with_service(tmp_path, body)
+
+
+class TestAdmin:
+    def test_gc_dry_run_reports_without_deleting(self, tmp_path):
+        async def body(service, client):
+            r = await client.request("POST", "/v1/campaigns", body=tiny())
+            await stream_to_end(client, r.json()["id"])
+            orphan = service.store.put_blob(b"orphaned bytes")
+            r = await client.request("POST", "/v1/admin/gc?dry_run=1")
+            dry = r.json()
+            assert dry["dry_run"] is True
+            assert orphan in dry["removed_sample"]
+            assert service.store.blobs.has(orphan)  # nothing deleted
+            r = await client.request("POST", "/v1/admin/gc")
+            real = r.json()
+            assert real["dry_run"] is False
+            assert orphan in real["removed_sample"]
+            assert not service.store.blobs.has(orphan)
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_read_cache_serves_repeats_and_can_be_disabled(self, tmp_path):
+        async def body(service, client):
+            r = await client.request("POST", "/v1/campaigns", body=tiny())
+            await stream_to_end(client, r.json()["id"])
+            run_id = r.json()["runs"][0]["run_id"]
+            first = await client.request("GET", f"/v1/runs/{run_id}/result")
+            second = await client.request("GET", f"/v1/runs/{run_id}/result")
+            assert first.body == second.body
+            stats = service.cache.stats()
+            assert stats["hits"] >= 1
+            r = await client.request(
+                "POST", "/v1/admin/cache", body={"enabled": False}
+            )
+            assert r.json()["enabled"] is False
+            assert r.json()["entries"] == 0  # disabling clears
+            third = await client.request("GET", f"/v1/runs/{run_id}/result")
+            assert third.status == 200 and third.body == first.body
+            r = await client.request(
+                "POST", "/v1/admin/cache", body={"enabled": True}
+            )
+            assert r.json()["enabled"] is True
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_draining_service_refuses_submissions_503(self, tmp_path):
+        async def body(service, client):
+            service.draining = True
+            r = await client.request("POST", "/v1/campaigns", body=tiny())
+            assert r.status == 503
+            r = await client.request("GET", "/v1/healthz")
+            assert r.json()["status"] == "draining"
+            return None
+
+        with_service(tmp_path, body)
+
+    def test_metrics_track_routes_and_latency(self, tmp_path):
+        async def body(service, client):
+            await client.request("GET", "/v1/healthz")
+            await client.request("GET", "/v1/healthz")
+            m = (await client.request("GET", "/v1/metrics")).json()
+            health = m["routes"]["GET /v1/healthz"]
+            assert health["count"] == 2
+            assert health["p50_ms"] is not None
+            assert health["errors"] == 0
+            return None
+
+        with_service(tmp_path, body)

@@ -9,6 +9,7 @@ scheduler backends.
 
 from __future__ import annotations
 
+import errno
 import os
 import subprocess
 import sys
@@ -382,3 +383,73 @@ def _child_config(engine: str) -> LongitudinalConfig:
     return LongitudinalConfig(
         seed=13, scale=0.01, snapshots=3, campaign_days=1.0, engine=engine
     )
+
+
+class TestReadOnlyStore:
+    """A read-only store root surfaces ReadOnlyStoreError, not raw
+    OSError — the serving layer maps it to 503 (retryable), not 500."""
+
+    @staticmethod
+    def _deny_mkstemp(monkeypatch):
+        import tempfile
+
+        def refuse(*args, **kwargs):
+            raise OSError(errno.EROFS, "read-only file system")
+
+        monkeypatch.setattr(tempfile, "mkstemp", refuse)
+
+    def test_blob_put_surfaces_read_only(self, tmp_path, monkeypatch):
+        from repro.errors import ReadOnlyStoreError
+        from repro.store.blobs import BlobStore
+
+        blobs = BlobStore(tmp_path / "store")
+        self._deny_mkstemp(monkeypatch)
+        with pytest.raises(ReadOnlyStoreError, match="not writable"):
+            blobs.put(b"payload")
+
+    def test_manifest_save_surfaces_read_only(self, tmp_path, monkeypatch):
+        from repro.errors import ReadOnlyStoreError
+
+        store = RunStore(tmp_path / "store")
+        manifest = RunManifest(
+            run_id="campaign-feedfeedfeed", kind="campaign",
+            key="feed" * 16, config={}, seed=1, engine="event",
+            snapshots_total=1,
+        )
+        self._deny_mkstemp(monkeypatch)
+        with pytest.raises(ReadOnlyStoreError, match="not writable"):
+            store.save_manifest(manifest)
+
+    def test_read_only_error_is_a_store_error(self):
+        from repro.errors import ReadOnlyStoreError
+
+        assert issubclass(ReadOnlyStoreError, StoreError)
+
+    def test_run_stored_campaign_surfaces_read_only(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.errors import ReadOnlyStoreError
+
+        config = LongitudinalConfig(
+            seed=5, scale=0.002, snapshots=2, campaign_days=1.0
+        )
+        self._deny_mkstemp(monkeypatch)
+        with pytest.raises(ReadOnlyStoreError, match="cannot"):
+            run_stored_campaign(tmp_path / "store", config)
+
+    def test_unrelated_oserror_passes_through(self, tmp_path, monkeypatch):
+        import tempfile
+
+        from repro.errors import ReadOnlyStoreError
+        from repro.store.blobs import BlobStore
+
+        blobs = BlobStore(tmp_path / "store")
+
+        def explode(*args, **kwargs):
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        monkeypatch.setattr(tempfile, "mkstemp", explode)
+        with pytest.raises(OSError) as excinfo:
+            blobs.put(b"payload")
+        assert not isinstance(excinfo.value, ReadOnlyStoreError)
+        assert excinfo.value.errno == errno.ENOSPC

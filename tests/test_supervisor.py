@@ -296,3 +296,140 @@ class TestSupervisorClassSurface:
         run = supervisor.run()
         assert run.results == [4, 8]
         assert run.completed() == [4, 8]
+
+
+# ---------------------------------------------------------------------------
+# Progress events: ordering and terminal-state invariants
+# ---------------------------------------------------------------------------
+def _check_event_grammar(events, n_items):
+    """Assert the per-item event grammar the serving layer relies on:
+
+    ``scheduled`` -> (``started`` [-> ``retrying``])* -> exactly one
+    ``completed`` | ``failed``, and nothing after the terminal event.
+    """
+    by_index = {}
+    for ev in events:
+        by_index.setdefault(ev.index, []).append(ev)
+    assert sorted(by_index) == list(range(n_items))
+    for index, stream in by_index.items():
+        kinds = [ev.kind for ev in stream]
+        assert kinds[0] == "scheduled", (index, kinds)
+        assert stream[0].attempt == 0
+        assert kinds.count("scheduled") == 1, (index, kinds)
+        # Exactly one terminal event, and it is last.
+        terminals = [k for k in kinds if k in ("completed", "failed")]
+        assert len(terminals) == 1, (index, kinds)
+        assert kinds[-1] in ("completed", "failed"), (index, kinds)
+        assert stream[-1].terminal
+        # Every attempt opens with `started`; `retrying` only between
+        # a started attempt and the next one.
+        for prev, ev in zip(stream, stream[1:]):
+            if ev.kind == "started":
+                assert prev.kind in ("scheduled", "retrying"), (index, kinds)
+                assert ev.attempt == prev.attempt + 1
+            if ev.kind == "retrying":
+                assert prev.kind == "started", (index, kinds)
+                assert ev.attempt == prev.attempt
+            if ev.kind in ("completed", "failed"):
+                assert prev.kind == "started", (index, kinds)
+                assert ev.attempt == prev.attempt
+
+
+class TestSupervisorEvents:
+    def _collect(self, task, items, **kwargs):
+        events = []
+        run = run_supervised(task, items, on_event=events.append, **kwargs)
+        return run, events
+
+    def test_inline_happy_path_grammar(self):
+        run, events = self._collect(_double, [5, 9], workers=1, config=FAST)
+        assert run.ok
+        _check_event_grammar(events, 2)
+        assert [ev.kind for ev in events if ev.index == 0] == [
+            "scheduled", "started", "completed",
+        ]
+
+    def test_all_items_scheduled_before_any_starts(self):
+        run, events = self._collect(
+            _double, [1, 2, 3], workers=2, config=FAST
+        )
+        assert run.ok
+        first_start = next(
+            i for i, ev in enumerate(events) if ev.kind == "started"
+        )
+        scheduled = [ev for ev in events[:first_start]]
+        assert [ev.kind for ev in scheduled] == ["scheduled"] * 3
+        assert [ev.index for ev in scheduled] == [0, 1, 2]
+
+    def test_parallel_happy_path_grammar(self):
+        run, events = self._collect(
+            _double, [5, 3, 9, 1], workers=4, config=FAST
+        )
+        assert run.ok
+        _check_event_grammar(events, 4)
+        assert all(
+            ev.kind in ("scheduled", "started", "completed") for ev in events
+        )
+
+    def test_crash_retry_emits_retrying_between_attempts(self, tmp_path):
+        # Two items so the supervisor stays in worker processes (a
+        # single item degrades to inline, where os._exit would kill us).
+        task = partial(_crash_once, str(tmp_path))
+        run, events = self._collect(task, [7, 8], workers=2, config=FAST)
+        assert run.ok and run.retried_labels == [7, 8]
+        _check_event_grammar(events, 2)
+        first = [ev for ev in events if ev.index == 0]
+        assert [ev.kind for ev in first] == [
+            "scheduled", "started", "retrying", "started", "completed",
+        ]
+        assert [ev.attempt for ev in first] == [0, 1, 1, 2, 2]
+        assert "exit code" in first[2].detail
+
+    def test_permanent_crash_terminates_with_failed(self):
+        run, events = self._collect(
+            _always_crash, [1, 2], workers=2,
+            config=SupervisorConfig(retries=1, backoff=0.0),
+        )
+        assert not run.ok
+        _check_event_grammar(events, 2)
+        first = [ev for ev in events if ev.index == 0]
+        assert [ev.kind for ev in first] == [
+            "scheduled", "started", "retrying", "started", "failed",
+        ]
+
+    def test_task_exception_fails_without_retry(self):
+        task = partial(_raise_on, 3)
+        run, events = self._collect(task, [3, 4], workers=2, config=FAST)
+        assert run.failed_labels == [3]
+        _check_event_grammar(events, 2)
+        bad = [ev for ev in events if ev.index == 0]
+        assert [ev.kind for ev in bad] == ["scheduled", "started", "failed"]
+        assert "deterministic failure" in bad[-1].detail
+
+    def test_inline_task_exception_grammar_matches(self):
+        task = partial(_raise_on, 3)
+        run, events = self._collect(task, [3], workers=1, config=FAST)
+        assert run.failed_labels == [3]
+        _check_event_grammar(events, 1)
+        assert [ev.kind for ev in events] == ["scheduled", "started", "failed"]
+
+    def test_event_labels_and_to_dict(self):
+        run, events = self._collect(
+            _double, [5], workers=1, config=FAST, labels=["seed-5"]
+        )
+        assert run.ok
+        assert {ev.label for ev in events} == {"seed-5"}
+        payload = events[-1].to_dict()
+        assert payload["kind"] == "completed"
+        assert payload["index"] == 0
+        assert payload["label"] == "seed-5"
+        assert payload["attempt"] == 1
+
+    def test_detail_is_truncated(self):
+        task = partial(_raise_on, 3)
+        _, events = self._collect(task, [3], workers=1, config=FAST)
+        assert all(len(ev.detail) <= 500 for ev in events)
+
+    def test_no_callback_is_the_default_and_free(self):
+        run = run_supervised(_double, [2], workers=1, config=FAST)
+        assert run.results == [4]
