@@ -79,7 +79,7 @@ class HandlerLoop:
         self.scheduled = True
         self._schedule_pass(0.0, self.run_pass, None)
 
-    def run_pass(self, _lane_payload=None) -> None:
+    def run_pass(self, _lane_payload=None) -> None:  # repro-lint: hot
         self.scheduled = False
         node = self.node
         if not node.running:

@@ -66,7 +66,7 @@ def shared_addr_records(
         # insertion age approximates LRU without per-hit bookkeeping.
         for stale in list(_payload_memo)[: _PAYLOAD_MEMO_MAX // 2]:
             del _payload_memo[stale]
-    records = tuple(TimestampedAddr(a, now) for a in addr_table[:999])
+    records = tuple(TimestampedAddr(a, now) for a in addr_table[:999])  # repro-lint: disable=HOT001 (memo-miss branch: built once per (table, tick), then shared by every answering node)
     _payload_memo[key] = records
     return records
 
@@ -179,6 +179,7 @@ class LightNode(NodeBehavior):
         sessions[socket] = 0
         return True
 
+    # repro-lint: hot
     def on_message(self, socket: Socket, message: Message) -> None:
         sessions = self._sessions
         if sessions is None or socket not in sessions:

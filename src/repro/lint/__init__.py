@@ -1,25 +1,42 @@
-"""``repro lint`` — determinism & checkpoint-safety static analysis.
+"""``repro lint`` — determinism, concurrency & hot-path static analysis.
 
 The simulator's two core guarantees — seed-stable runs and bit-identical
 kill-and-resume checkpoints — are invariants of *how the code is
 written*, not just of what it computes: a single ``time.time()`` in a
 simulation path, one iteration over an unsorted ``set``, or a ``lambda``
-landing on the event queue silently breaks them.  The runtime tests
-catch such regressions after the fact; this package catches them at
-review time, from the AST.
+landing on the event queue silently breaks them.  The serve layer and
+the fast lane add two more invariants of the same kind: nothing on the
+event loop may block, and nothing on the hot path may allocate.  The
+runtime tests catch such regressions after the fact; this package
+catches them at review time, from the AST.
 
 Rule catalog
 ------------
-========  ==========================================================
-DET001    unseeded global RNG (``random.*`` / ``numpy.random`` module
-          functions) instead of an injected ``sim.random.stream``
-DET002    wall-clock reads (``time.time``, ``datetime.now``, ...)
-          outside the allowlisted store/perf boundary
-DET003    ordering-sensitive iteration over ``set`` / ``frozenset``
-DET004    ``id()`` / ``hash()`` as tie-breakers or keys
-PICK001   ``lambda`` / nested-``def`` callbacks on the event queue or
-          stored on snapshot-reachable objects
-========  ==========================================================
+=========  =========================================================
+DET001     unseeded global RNG (``random.*`` / ``numpy.random``
+           module functions) instead of an injected
+           ``sim.random.stream``
+DET002     wall-clock reads (``time.time``, ``datetime.now``, ...)
+           outside the allowlisted store/perf boundary
+DET003     ordering-sensitive iteration over ``set`` / ``frozenset``
+DET004     ``id()`` / ``hash()`` as tie-breakers or keys
+PICK001    ``lambda`` / nested-``def`` callbacks on the event queue
+           or stored on snapshot-reachable objects
+ASYNC001   blocking call transitively reachable from an ``async
+           def`` without ``run_in_executor`` / ``to_thread``
+ASYNC002   coroutine constructed but never awaited
+ASYNC003   ``create_task`` result discarded (GC can kill the task)
+ASYNC004   loop-owned state mutated from thread context without
+           ``call_soon_threadsafe``
+HOT001     allocation-bearing construct in a hot-path function
+           (``[tool.repro-lint] hot-paths`` / ``# repro-lint: hot``)
+=========  =========================================================
+
+DET/PICK rules are per-file; ASYNC/HOT rules are interprocedural — they
+run over a project-wide call graph (:mod:`repro.lint.callgraph`) that
+resolves methods via self-type inference, ``functools.partial``
+wrappers, and aliased imports, then propagates may-block taint and
+hot-path membership transitively.
 
 Findings are suppressed per line (``# repro-lint: disable=DET002``),
 per file (``# repro-lint: disable-file=DET002``), or grandfathered in a
@@ -27,22 +44,30 @@ committed baseline file; CI enforces a no-new-violations policy.
 """
 
 from .baseline import Baseline, BaselineEntry, fingerprint
+from .callgraph import CallGraph, ProjectRule, build_call_graph
 from .config import LintConfig, load_config
 from .engine import LintResult, lint_paths
 from .findings import Finding, Severity
-from .rules import RULES, all_rules, get_rule
+from .rules import FAMILIES, RULES, all_rules, family_of, get_rule
+from .sarif import render_sarif
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
+    "FAMILIES",
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProjectRule",
     "RULES",
     "Severity",
     "all_rules",
+    "build_call_graph",
+    "family_of",
     "fingerprint",
     "get_rule",
     "lint_paths",
     "load_config",
+    "render_sarif",
 ]

@@ -17,7 +17,8 @@ from ..errors import LintError
 from .baseline import Baseline
 from .config import load_config
 from .engine import lint_paths, render_text
-from .rules import RULES, get_rule
+from .rules import FAMILIES, RULES, family_of, get_rule
+from .sarif import render_sarif
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -28,8 +29,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "paths, i.e. src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text; sarif renders as GitHub "
+        "code-scanning annotations)",
     )
     parser.add_argument(
         "--baseline", type=str, default=None, metavar="FILE",
@@ -60,9 +62,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _print_catalog() -> None:
+    families: dict = {}
     for code in sorted(RULES):
-        rule = RULES[code]
-        print(f"{code}  [{rule.default_severity:7}] {rule.summary}")
+        families.setdefault(family_of(code), []).append(code)
+    first = True
+    for family in sorted(families):
+        if not first:
+            print()
+        first = False
+        print(f"{family} — {FAMILIES.get(family, 'other')}")
+        for code in families[family]:
+            rule = RULES[code]
+            print(f"  {code}  [{rule.default_severity:7}] {rule.summary}")
 
 
 def _print_explanation(code: str) -> None:
@@ -73,6 +84,12 @@ def _print_explanation(code: str) -> None:
     print()
     print(textwrap.fill(rule.rationale, width=76, initial_indent="  ",
                         subsequent_indent="  "))
+    if rule.example:
+        print()
+        print("  example:")
+        print()
+        for line in rule.example.splitlines():
+            print(f"  {line}" if line else "")
     print()
     print(f"  suppress with: # repro-lint: disable={rule.code}  (rationale)")
 
@@ -120,6 +137,8 @@ def _run(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
     return 1 if result.failed else 0

@@ -46,6 +46,11 @@ class LintConfig:
     disable: Tuple[str, ...] = ()
     #: Per-rule severity overrides (code -> severity).
     severity: Dict[str, str] = field(default_factory=dict)
+    #: Dotted function keys (``module.Qualname``) seeding HOT001's
+    #: hot-path propagation, alongside ``# repro-lint: hot`` markers.
+    hot_paths: Tuple[str, ...] = ()
+    #: Extra dotted callables treated as blocking roots by ASYNC001.
+    blocking: Tuple[str, ...] = ()
     #: Directory the config was loaded from (resolves the baseline).
     root: Optional[str] = None
 
@@ -131,6 +136,12 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
     disable = _as_str_tuple(table, "disable", where)
     if disable is not None:
         config = replace(config, disable=disable)
+    hot_paths = _as_str_tuple(table, "hot-paths", where)
+    if hot_paths is not None:
+        config = replace(config, hot_paths=hot_paths)
+    blocking = _as_str_tuple(table, "blocking", where)
+    if blocking is not None:
+        config = replace(config, blocking=blocking)
     baseline = table.get("baseline")
     if baseline is not None:
         if not isinstance(baseline, str):

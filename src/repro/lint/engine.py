@@ -16,10 +16,11 @@ from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineMatch
+from .callgraph import ProjectRule, build_call_graph
 from .config import LintConfig, normalize_path
 from .findings import Finding, Severity, sort_findings
 from .rules import all_rules
-from .suppressions import parse_suppressions
+from .suppressions import SuppressionMap, parse_suppressions
 from .visitor import FileContext, FileFacts, collect_facts, run_rules
 
 #: Directories never descended into.
@@ -136,6 +137,10 @@ def lint_paths(
 
     known_codes = [rule.code for rule in all_rules()]
     all_findings: List[Finding] = []
+    suppression_maps: Dict[str, SuppressionMap] = {}
+    enabled = all_rules(config.severity, config.disable)
+    file_rules = [r for r in enabled if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in enabled if isinstance(r, ProjectRule)]
     for path, label, tree, lines, facts in parsed:
         ctx = FileContext(
             path=label,
@@ -144,9 +149,9 @@ def lint_paths(
             global_set_attrs=global_set_attrs,
             clock_allowlisted=config.clock_allowlisted(label),
         )
-        rules = all_rules(config.severity, config.disable)
-        findings = run_rules(tree, ctx, rules)
+        findings = run_rules(tree, ctx, file_rules)
         suppressions = parse_suppressions(lines, known_codes)
+        suppression_maps[label] = suppressions
         for note in suppressions.unknown_codes:
             result.diagnostics.append(f"{label}: {note}")
         all_findings.extend(
@@ -155,6 +160,25 @@ def lint_paths(
             if not suppressions.suppressed(finding.line, finding.code)
         )
         result.files_checked += 1
+
+    # Pass 3: the interprocedural rules run once over the project call
+    # graph; their findings flow through the same per-file suppression
+    # maps (and, below, the same baseline) as per-file findings.
+    if project_rules and parsed:
+        graph = build_call_graph(
+            [(label, tree, lines) for _, label, tree, lines, _ in parsed],
+            config,
+        )
+        for rule in project_rules:
+            rule.check(graph, config)
+            findings, rule.findings = rule.findings, []
+            for finding in findings:
+                file_map = suppression_maps.get(finding.path)
+                if file_map is not None and file_map.suppressed(
+                    finding.line, finding.code
+                ):
+                    continue
+                all_findings.append(finding)
 
     result.findings = sort_findings(all_findings)
     if baseline is None:

@@ -13,8 +13,31 @@ import ast
 from typing import Dict, List, Optional, Type
 
 from ..errors import LintError
+from .callgraph import CallGraph, ProjectRule
+from .config import LintConfig
 from .findings import Severity
 from .visitor import FileContext, Rule
+
+#: Rule families, by code prefix.  ``--list-rules`` groups by these.
+FAMILIES: Dict[str, str] = {
+    "DET": "determinism — hidden global state and ordering hazards",
+    "PICK": "picklability — checkpoint/snapshot safety",
+    "ASYNC": "asyncio — event-loop blocking and task-lifetime hazards "
+             "(interprocedural)",
+    "HOT": "hot path — allocation discipline in marked fast-lane "
+           "functions (interprocedural)",
+}
+
+
+def family_of(code: str) -> str:
+    """The family prefix of a rule code (leading capital letters)."""
+    prefix = ""
+    for char in code:
+        if char.isalpha():
+            prefix += char
+        else:
+            break
+    return prefix
 
 #: Wall-clock reads that leak host time into simulation state.
 WALL_CLOCK_NAMES = frozenset(
@@ -268,6 +291,285 @@ class QueueLambdaRule(Rule):
         )
 
 
+class BlockingInAsyncRule(ProjectRule):
+    """ASYNC001: a blocking call reachable from an ``async def``."""
+
+    code = "ASYNC001"
+    name = "blocking-call-in-async"
+    summary = (
+        "blocking call (sleep/file/socket/subprocess I/O) reachable from "
+        "an async def without run_in_executor/to_thread"
+    )
+    default_severity = Severity.ERROR
+    rationale = (
+        "The serve layer runs every request handler on one event loop: a "
+        "single synchronous sleep, file read, or subprocess wait inside a "
+        "coroutine stalls every connection, SSE stream, and job "
+        "completion callback at once.  The blocking call is rarely "
+        "visible in the handler itself — it hides two or three calls "
+        "down, inside the store.  This rule propagates a may-block taint "
+        "up the project call graph and reports the frontier: the exact "
+        "call inside the async function where blocking work enters the "
+        "loop.  Dispatching through loop.run_in_executor(...) or "
+        "asyncio.to_thread(...) cuts the taint — that is the fix, not a "
+        "suppression."
+    )
+    example = (
+        "    async def _h_export(self, run_id):          # handler\n"
+        "        data = self.store.load_manifest(run_id)  # ASYNC001:\n"
+        "            # load_manifest -> Path.read_text -> file I/O\n"
+        "\n"
+        "fix — move the blocking chain onto a worker thread:\n"
+        "\n"
+        "    async def _h_export(self, run_id):\n"
+        "        loop = asyncio.get_running_loop()\n"
+        "        data = await loop.run_in_executor(\n"
+        "            self._io, self.store.load_manifest, run_id)"
+    )
+
+    def check(self, graph: CallGraph, config: LintConfig) -> None:
+        for func in graph.functions.values():
+            if not func.is_async:
+                continue
+            for site in func.calls:
+                if site.kind not in ("call", "constructor"):
+                    continue
+                reason = graph.blocking_reason(site.target)
+                if reason is None:
+                    for dotted in config.blocking:
+                        if site.target == dotted:
+                            reason = "configured blocking root"
+                            break
+                if reason is not None:
+                    self.report_site(
+                        graph, func.path, site.lineno, site.col,
+                        f"async {func.display} calls {site.target} "
+                        f"({reason}), blocking the event loop",
+                        "dispatch it with loop.run_in_executor(...) or "
+                        "asyncio.to_thread(...)",
+                    )
+                    continue
+                callee = graph.resolve_function(site.target)
+                if callee is None or callee.is_async:
+                    # Async callees report their own blocking frontier.
+                    continue
+                cause = graph.may_block.get(callee.key)
+                if cause is None:
+                    continue
+                chain = " -> ".join(graph.chain(callee.key))
+                self.report_site(
+                    graph, func.path, site.lineno, site.col,
+                    f"async {func.display} reaches blocking I/O via "
+                    f"{chain}",
+                    "dispatch the sync chain with "
+                    "loop.run_in_executor(...) or asyncio.to_thread(...)",
+                )
+
+
+class UnawaitedCoroutineRule(ProjectRule):
+    """ASYNC002: a coroutine constructed but never awaited."""
+
+    code = "ASYNC002"
+    name = "coroutine-not-awaited"
+    summary = (
+        "async function called without await/create_task — the coroutine "
+        "object is discarded and its body never runs"
+    )
+    default_severity = Severity.ERROR
+    rationale = (
+        "Calling an async function only constructs a coroutine object; "
+        "nothing executes until it is awaited or wrapped in "
+        "asyncio.create_task.  A bare call silently drops the work — the "
+        "handler returns success, the job is never scheduled, and the "
+        "only trace is a 'coroutine was never awaited' RuntimeWarning "
+        "long after the fact.  Because this analysis resolves calls "
+        "through the project symbol table, it catches the miss even when "
+        "the async def lives in another module."
+    )
+    example = (
+        "    async def shutdown(self):\n"
+        "        self.jobs.drain()        # ASYNC002: drain is async —\n"
+        "                                 # this builds a coroutine and\n"
+        "                                 # throws it away\n"
+        "\n"
+        "fix:\n"
+        "\n"
+        "    async def shutdown(self):\n"
+        "        await self.jobs.drain()"
+    )
+
+    def check(self, graph: CallGraph, config: LintConfig) -> None:
+        for func in graph.functions.values():
+            for site in func.bare_calls:
+                if site.kind != "call" or site.awaited:
+                    continue
+                callee = graph.resolve_function(site.target)
+                if callee is None or not callee.is_async:
+                    continue
+                self.report_site(
+                    graph, func.path, site.lineno, site.col,
+                    f"{func.display} calls async {callee.display} without "
+                    f"awaiting it — the coroutine never runs",
+                    "await it, or wrap it in asyncio.create_task(...) and "
+                    "retain the task",
+                )
+
+
+class DroppedTaskRule(ProjectRule):
+    """ASYNC003: ``create_task`` result not retained."""
+
+    code = "ASYNC003"
+    name = "task-reference-dropped"
+    summary = (
+        "create_task/ensure_future result discarded — the event loop "
+        "holds only a weak reference and may garbage-collect the task "
+        "mid-flight"
+    )
+    default_severity = Severity.WARNING
+    rationale = (
+        "asyncio keeps only a weak reference to scheduled tasks: if "
+        "nothing else holds the Task object, the garbage collector can "
+        "reap it before it finishes, killing the work without an "
+        "exception surfacing anywhere.  The serve layer retains "
+        "connection tasks in a dict and job tasks in JobManager._tasks "
+        "for exactly this reason.  Assign the result to a retained "
+        "structure and discard it on completion (add_done_callback)."
+    )
+    example = (
+        "    async def start(self):\n"
+        "        asyncio.create_task(self._poll())   # ASYNC003\n"
+        "\n"
+        "fix — retain until done:\n"
+        "\n"
+        "    async def start(self):\n"
+        "        task = asyncio.create_task(self._poll())\n"
+        "        self._tasks.add(task)\n"
+        "        task.add_done_callback(self._tasks.discard)"
+    )
+
+    def check(self, graph: CallGraph, config: LintConfig) -> None:
+        for func in graph.functions.values():
+            for site in func.bare_calls:
+                if site.kind != "create_task":
+                    continue
+                self.report_site(
+                    graph, func.path, site.lineno, site.col,
+                    f"{func.display} discards the create_task result — "
+                    f"the task may be garbage-collected mid-flight",
+                    "retain the task (e.g. in a set with an "
+                    "add_done_callback(discard) pair)",
+                )
+
+
+class CrossThreadMutationRule(ProjectRule):
+    """ASYNC004: loop-owned state touched from a non-loop thread."""
+
+    code = "ASYNC004"
+    name = "cross-thread-loop-mutation"
+    summary = (
+        "function marked '# repro-lint: loop-owned' called from "
+        "executor/thread context without call_soon_threadsafe"
+    )
+    default_severity = Severity.ERROR
+    rationale = (
+        "Job state, SSE subscriber lists, and metrics in the serve layer "
+        "are mutated without locks because every mutation happens on the "
+        "event-loop thread.  Supervisor callbacks, however, fire on "
+        "executor threads — calling a loop-owned mutator from there is a "
+        "data race that corrupts state rarely enough to survive testing. "
+        " Mark loop-owned mutators with '# repro-lint: loop-owned'; the "
+        "analysis traces which functions execute in thread context "
+        "(executor submissions, Thread targets, on_event callbacks) and "
+        "flags direct calls across the boundary.  "
+        "loop.call_soon_threadsafe(fn, ...) is the sanctioned bridge and "
+        "is recognized as such."
+    )
+    example = (
+        "    def _on_event(job, event):        # runs on executor thread\n"
+        "        job.supervisor_event(event)   # ASYNC004: loop-owned\n"
+        "\n"
+        "fix — hop onto the loop first:\n"
+        "\n"
+        "    def _on_event(loop, job, event):\n"
+        "        loop.call_soon_threadsafe(job.supervisor_event, event)"
+    )
+
+    def check(self, graph: CallGraph, config: LintConfig) -> None:
+        for key, context in graph.thread_ctx.items():
+            func = graph.functions.get(key)
+            if func is None:
+                continue
+            for site in func.calls:
+                if site.kind not in ("call", "constructor"):
+                    continue
+                callee = graph.resolve_function(site.target)
+                if callee is None or callee.key not in graph.loop_owned:
+                    continue
+                self.report_site(
+                    graph, func.path, site.lineno, site.col,
+                    f"{func.display} runs in thread context ({context}) "
+                    f"but calls loop-owned {callee.display} directly",
+                    "bridge with loop.call_soon_threadsafe"
+                    f"({callee.display.rsplit('.', 1)[-1]}, ...)",
+                )
+
+
+class HotPathAllocationRule(ProjectRule):
+    """HOT001: allocation-bearing constructs in hot-path functions."""
+
+    code = "HOT001"
+    name = "hot-path-allocation"
+    summary = (
+        "allocation-bearing construct (closure, lambda, comprehension, "
+        "dict/list/set literal, f-string) in a hot-path function"
+    )
+    default_severity = Severity.WARNING
+    rationale = (
+        "The fast lane dispatches tens of thousands of events per second "
+        "on one core; PR 6 bought its 2.15x by stripping per-event "
+        "allocations (singleton replies, interned addresses, bare-tuple "
+        "lane entries).  One careless f-string or list literal on that "
+        "path re-introduces a malloc per event and quietly halves "
+        "throughput — a regression the scale gate only catches after the "
+        "fact.  Functions named in [tool.repro-lint] hot-paths or marked "
+        "'# repro-lint: hot' — and everything they call, transitively — "
+        "are held to the no-allocation discipline.  Tuples are exempt "
+        "(cheap, often interned), as are allocations feeding a raise "
+        "(error paths are cold).  A justified allocation (amortized "
+        "caches, rare slow paths) takes an inline suppression with a "
+        "rationale."
+    )
+    example = (
+        "    # repro-lint: hot\n"
+        "    def run_pass(self):\n"
+        "        ready = [p for p in self.dirty]   # HOT001: allocates\n"
+        "                                          # per event\n"
+        "\n"
+        "fix — hoist or restructure:\n"
+        "\n"
+        "    # repro-lint: hot\n"
+        "    def run_pass(self):\n"
+        "        dirty = self.dirty                # iterate the dict\n"
+        "        while dirty:                      # directly; no copy\n"
+        "            addr, peer = dirty.popitem()"
+    )
+
+    def check(self, graph: CallGraph, config: LintConfig) -> None:
+        for key, origin in graph.hot.items():
+            func = graph.functions.get(key)
+            if func is None:
+                continue
+            for alloc in func.allocs:
+                self.report_site(
+                    graph, func.path, alloc.lineno, alloc.col,
+                    f"{alloc.what} in hot-path {func.display} "
+                    f"({origin})",
+                    "hoist the allocation out of the hot path, reuse a "
+                    "preallocated object, or suppress with a rationale if "
+                    "it is amortized",
+                )
+
+
 #: Registered rules, by code.
 RULES: Dict[str, Type[Rule]] = {
     rule.code: rule
@@ -277,6 +579,11 @@ RULES: Dict[str, Type[Rule]] = {
         SetIterationRule,
         IdentityHashRule,
         QueueLambdaRule,
+        BlockingInAsyncRule,
+        UnawaitedCoroutineRule,
+        DroppedTaskRule,
+        CrossThreadMutationRule,
+        HotPathAllocationRule,
     )
 }
 

@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests: uploading a run renders findings as inline PR
+annotations.  The mapping is deliberately thin — one ``run`` with the
+full rule catalog in ``tool.driver.rules`` (so the GitHub UI can show
+the rationale without a round trip to the docs) and one ``result`` per
+*new* finding.  Baselined findings are omitted: the SARIF channel
+exists to annotate regressions, and the baseline already absorbs the
+accepted debt.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .baseline import fingerprint
+from .engine import LintResult
+from .findings import Finding, Severity
+from .rules import RULES
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: repro-lint severity -> SARIF level.
+_LEVELS: Dict[str, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(code: str) -> dict:
+    rule = RULES[code]
+    return {
+        "id": code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.default_severity, "warning"),
+        },
+        "properties": {"tags": ["repro-lint"]},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    message = finding.message
+    if finding.suggestion:
+        message = f"{message} — {finding.suggestion}"
+    return {
+        "ruleId": finding.code,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLint/v1": fingerprint(
+                finding.path, finding.code, finding.source_line or ""
+            ),
+        },
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """The full SARIF document for one lint run, as a JSON string."""
+    results: List[dict] = [_result(f) for f in result.new_findings]
+    for path, error in result.parse_errors:
+        results.append(
+            {
+                "ruleId": "parse-error",
+                "level": "error",
+                "message": {"text": f"cannot lint: {error}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {"startLine": 1, "startColumn": 1},
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            _rule_descriptor(code)
+                            for code in sorted(RULES)
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -119,6 +119,11 @@ class Rule:
     default_severity: str = Severity.ERROR
     #: Longer prose for ``repro lint --explain CODE``.
     rationale: str = ""
+    #: Worked before/after example for ``--explain CODE`` (optional).
+    example: str = ""
+    #: "file" rules consume AST events; "project" rules (see
+    #: :mod:`repro.lint.callgraph`) run once over the call graph.
+    scope: str = "file"
 
     def __init__(self, severity: Optional[str] = None) -> None:
         self.severity = Severity.validate(

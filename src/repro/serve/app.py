@@ -45,7 +45,9 @@ import math
 import os
 import tempfile
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
@@ -113,6 +115,8 @@ class ServiceConfig:
     retry_after: float = 2.0
     #: Emit one structured log line per request.
     log_requests: bool = True
+    #: Threads for store/ledger file I/O dispatched off the event loop.
+    io_threads: int = 4
 
     def supervisor_config(self) -> Optional[SupervisorConfig]:
         if self.seed_timeout is None and self.retries is None:
@@ -157,6 +161,16 @@ class CampaignService:
         self.draining = False
         # Insertion-ordered (dict) so shutdown cancels deterministically.
         self._conn_tasks: Dict["asyncio.Task[None]", None] = {}
+        # Store/ledger reads are file I/O; handlers must never run them
+        # on the event loop (ASYNC001) — they go through _io_call.
+        self._io = ThreadPoolExecutor(
+            max_workers=config.io_threads, thread_name_prefix="repro-serve-io"
+        )
+
+    async def _io_call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run blocking store/ledger work on the I/O thread pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._io, fn, *args)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -186,6 +200,7 @@ class CampaignService:
             task.cancel()
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
+        self._io.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -408,7 +423,7 @@ class CampaignService:
             )
         tenant = request.headers.get(TENANT_HEADER, DEFAULT_TENANT)
         spec = parse_submission(request.json())
-        job, disposition = self.jobs.submit(spec, tenant)
+        job, disposition = await self.jobs.submit(spec, tenant)
         payload = job.describe()
         payload["disposition"] = disposition
         status = 202 if disposition == DISPOSITION_QUEUED else 200
@@ -459,35 +474,37 @@ class CampaignService:
     async def _h_runs(
         self, request: Request, parts: Tuple[str, ...]
     ) -> Response:
-        return Response.json({"runs": self.store.index()})
+        return Response.json({"runs": await self._io_call(self.store.index)})
 
-    def _manifest(self, run_id: str) -> RunManifest:
-        return self.store.load_manifest(run_id)
+    async def _manifest(self, run_id: str) -> RunManifest:
+        return await self._io_call(self.store.load_manifest, run_id)
 
     async def _h_run(
         self, request: Request, parts: Tuple[str, ...]
     ) -> Response:
-        return Response.json(self._manifest(parts[2]).to_dict())
+        manifest = await self._manifest(parts[2])
+        return Response.json(manifest.to_dict())
 
-    def _blob_bytes(self, digest: str) -> bytes:
+    async def _blob_bytes(self, digest: str) -> bytes:
         """A blob through the read cache (verified once, then memory)."""
         key = ("blob", digest)
         data = self.cache.get(key)
         if data is None:
-            data = self.store.get_blob(digest)
+            data = await self._io_call(self.store.get_blob, digest)
             self.cache.put(key, data)
         return data
 
-    def _load_result(self, manifest: RunManifest) -> CampaignResult:
+    async def _load_result(self, manifest: RunManifest) -> CampaignResult:
         if manifest.result_digest is None:
             raise HttpError(
                 404,
                 f"run {manifest.run_id!r} has no result yet "
                 f"(status {manifest.status!r})",
             )
-        result = load_checkpoint(
-            self._blob_bytes(manifest.result_digest), expect_kind=_RESULT_KIND
-        )
+        # Deserializing the blob is pure CPU on in-memory bytes; only
+        # the blob read itself needs the executor.
+        blob = await self._blob_bytes(manifest.result_digest)
+        result = load_checkpoint(blob, expect_kind=_RESULT_KIND)
         if not isinstance(result, CampaignResult):
             raise StoreError(
                 f"run {manifest.run_id!r} result blob has wrong type"
@@ -497,13 +514,13 @@ class CampaignService:
     async def _h_result(
         self, request: Request, parts: Tuple[str, ...]
     ) -> Response:
-        manifest = self._manifest(parts[2])
+        manifest = await self._manifest(parts[2])
         if manifest.result_digest is not None:
             key = ("summary", manifest.result_digest)
             cached = self.cache.get(key)
             if cached is not None:
                 return Response(status=200, body=cached)
-        result = self._load_result(manifest)
+        result = await self._load_result(manifest)
         fig4 = result.fig4_series()
         fig5 = result.fig5_series()
         payload = {
@@ -530,7 +547,7 @@ class CampaignService:
     async def _h_export_csv(
         self, request: Request, parts: Tuple[str, ...]
     ) -> Response:
-        manifest = self._manifest(parts[2])
+        manifest = await self._manifest(parts[2])
         if manifest.result_digest is not None:
             key = ("csv", manifest.result_digest)
             cached = self.cache.get(key)
@@ -538,12 +555,8 @@ class CampaignService:
                 return Response(
                     status=200, body=cached, content_type="text/csv"
                 )
-        result = self._load_result(manifest)
-        with tempfile.TemporaryDirectory() as tmp:
-            path = export_campaign_series(
-                result, os.path.join(tmp, "campaign_series.csv")
-            )
-            body = Path(path).read_bytes()
+        result = await self._load_result(manifest)
+        body = await self._io_call(_render_csv, result)
         self.cache.put(("csv", manifest.result_digest), body)
         return Response(status=200, body=body, content_type="text/csv")
 
@@ -552,7 +565,7 @@ class CampaignService:
     ) -> Response:
         return Response(
             status=200,
-            body=self._blob_bytes(parts[2]),
+            body=await self._blob_bytes(parts[2]),
             content_type="application/octet-stream",
         )
 
@@ -560,7 +573,7 @@ class CampaignService:
         self, request: Request, parts: Tuple[str, ...]
     ) -> Response:
         dry_run = request.query.get("dry_run", "0") not in ("0", "", "false")
-        report = self.store.gc(dry_run=dry_run)
+        report = await self._io_call(partial(self.store.gc, dry_run=dry_run))
         return Response.json(
             {
                 "dry_run": report["dry_run"],
@@ -594,6 +607,16 @@ class CampaignService:
         return Response.json(self.ledger.snapshot())
 
 
+def _render_csv(result: CampaignResult) -> bytes:
+    """Materialize the campaign-series CSV (tempfile I/O; runs on the
+    service's I/O pool, never on the event loop)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = export_campaign_series(
+            result, os.path.join(tmp, "campaign_series.csv")
+        )
+        return Path(path).read_bytes()
+
+
 async def run_service(
     config: ServiceConfig,
     ready: Optional[Callable[[CampaignService], Any]] = None,
@@ -605,12 +628,14 @@ async def run_service(
     """
     import signal
 
-    service = CampaignService(config)
+    # Constructing the service opens the store and ledger (mkdir, file
+    # reads) — blocking work that must not run on the loop thread.
+    loop = asyncio.get_running_loop()
+    service = await loop.run_in_executor(None, CampaignService, config)
     await service.start()
     if ready is not None:
         ready(service)
     stop = asyncio.Event()
-    loop = asyncio.get_running_loop()
     installed = []
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:

@@ -142,13 +142,14 @@ class Job:
     # ------------------------------------------------------------------
     # Event log (loop thread only)
     # ------------------------------------------------------------------
-    def post(self, kind: str, **fields: Any) -> None:
+    def post(self, kind: str, **fields: Any) -> None:  # repro-lint: loop-owned
         event = {"seq": len(self.events), "kind": kind, "t": wall_now()}
         event.update(fields)
         self.events.append(event)
         waker, self._changed = self._changed, asyncio.Event()
         waker.set()
 
+    # repro-lint: loop-owned
     def supervisor_event(self, event: SupervisorEvent) -> None:
         """Forwarded per-seed lifecycle transition from the supervisor."""
         if self.status == JOB_QUEUED:
@@ -227,6 +228,12 @@ class JobManager:
         self._executor = ThreadPoolExecutor(
             max_workers=self.slots, thread_name_prefix="repro-serve-job"
         )
+        # One thread, deliberately: admission reads (store lookups) and
+        # ledger read-modify-writes are serialized here, so two racing
+        # submissions cannot interleave a quota charge.
+        self._admission = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-admit"
+        )
         self._run_counter = 0
 
     # ------------------------------------------------------------------
@@ -296,11 +303,16 @@ class JobManager:
             self._order.remove(victim_id)
             del self.jobs[victim_id]
 
-    def submit(self, spec: SubmissionSpec, tenant: str) -> Tuple[Job, str]:
+    async def submit(
+        self, spec: SubmissionSpec, tenant: str
+    ) -> Tuple[Job, str]:
         """Admit a submission; returns ``(job, disposition)``.
 
         Raises :class:`~repro.errors.ServiceBusyError` over capacity and
-        :class:`~repro.errors.QuotaExceededError` over quota.
+        :class:`~repro.errors.QuotaExceededError` over quota.  The store
+        lookups and the ledger charge are file I/O, dispatched onto the
+        single-threaded admission executor so the event loop never
+        blocks and concurrent submissions serialize their quota charges.
         """
         loop = asyncio.get_running_loop()
         key = self._job_key(spec)
@@ -310,7 +322,15 @@ class JobManager:
             self.metrics.submit_cache_hits += 1
             return inflight, DISPOSITION_JOINED
 
-        runs, fresh = self._seed_runs(spec)
+        runs, fresh = await loop.run_in_executor(
+            self._admission, self._seed_runs, spec
+        )
+        # An identical submission may have been admitted while we were
+        # reading the store; join it rather than double-running.
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.metrics.submit_cache_hits += 1
+            return inflight, DISPOSITION_JOINED
         if fresh == 0:
             # Every run key is already complete in the store: answer
             # without taking a slot or charging quota.
@@ -340,7 +360,9 @@ class JobManager:
             )
         # Pre-charge quota for the fresh runs only; raises over quota.
         try:
-            self.ledger.charge_runs(tenant, fresh)
+            await loop.run_in_executor(
+                self._admission, self.ledger.charge_runs, tenant, fresh
+            )
         except Exception:
             self.metrics.rejected_quota += 1
             raise
@@ -397,7 +419,11 @@ class JobManager:
         for index, failure in zip(run.failed_indexes, run.failures):
             job.runs[index].status = "failed"
             job.runs[index].detail = failure.cause
-        self._account_bytes(job)
+        skipped = await loop.run_in_executor(
+            self._admission, self._account_bytes, job
+        )
+        if skipped is not None:
+            job.post("accounting-skipped", detail=skipped)
         if run.ok:
             job.status = JOB_COMPLETE
             job.post("job-complete", cached=False,
@@ -409,8 +435,14 @@ class JobManager:
                      failed=list(run.failed_labels))
         self._inflight.pop(key, None)
 
-    def _account_bytes(self, job: Job) -> None:
-        """Charge the tenant for blob bytes its fresh runs pinned."""
+    def _account_bytes(self, job: Job) -> Optional[str]:
+        """Charge the tenant for blob bytes its fresh runs pinned.
+
+        Runs on the admission executor (manifest/blob-size reads are
+        file I/O).  Returns a skip reason instead of posting to the job
+        event log directly — the log is loop-owned, so the caller posts
+        back on the loop.
+        """
         total = 0
         for run in job.runs:
             if run.cached_at_submit or run.status != "complete":
@@ -427,7 +459,8 @@ class JobManager:
         try:
             self.ledger.add_bytes(job.tenant, total)
         except StoreError as exc:
-            job.post("accounting-skipped", detail=str(exc))
+            return str(exc)
+        return None
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -439,3 +472,4 @@ class JobManager:
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
         self._executor.shutdown(wait=True)
+        self._admission.shutdown(wait=True)

@@ -98,7 +98,7 @@ class LatencyModel:
             if base is None:
                 span = config.max_latency - config.min_latency
                 fraction = (
-                    derive_seed(self._seed, f"lat:{key[0]}:{key[1]}") & 0xFFFF
+                    derive_seed(self._seed, f"lat:{key[0]}:{key[1]}") & 0xFFFF  # repro-lint: disable=HOT001 (cache-miss branch: runs once per group pair, then served from _base_cache)
                 ) / 0xFFFF
                 base = config.min_latency + span * fraction
                 self._base_cache[key] = base

@@ -482,11 +482,13 @@ class TestConfig:
 
     def test_every_rule_has_catalog_prose(self):
         assert set(RULES) == {
-            "DET001", "DET002", "DET003", "DET004", "PICK001"
+            "DET001", "DET002", "DET003", "DET004", "PICK001",
+            "ASYNC001", "ASYNC002", "ASYNC003", "ASYNC004", "HOT001",
         }
         for rule in all_rules():
             assert rule.summary and rule.rationale
             assert rule.default_severity in Severity.ALL
+            assert rule.scope in ("file", "project")
 
 
 # ----------------------------------------------------------------------
@@ -534,6 +536,23 @@ class TestRepositoryGate:
         assert payload["failed"] is True
         assert [f["code"] for f in payload["new_findings"]] == ["DET002"]
 
+    def test_seeded_async_sleep_is_caught(self, tmp_path):
+        # The second CI canary in miniature: append a blocking call
+        # inside an async def to the shipped serve app and the
+        # interprocedural gate must fail with ASYNC001.
+        original = (
+            REPO_ROOT / "src" / "repro" / "serve" / "app.py"
+        ).read_text(encoding="utf-8")
+        seeded = tmp_path / "app.py"
+        seeded.write_text(
+            original
+            + "\n\nasync def _lint_canary() -> None:\n    time.sleep(0.1)\n",
+            encoding="utf-8",
+        )
+        proc = run_cli(str(seeded), "--no-baseline", cwd=tmp_path)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "ASYNC001" in proc.stdout
+
     def test_list_rules_and_explain(self):
         proc = run_cli("--list-rules")
         assert proc.returncode == 0
@@ -542,6 +561,49 @@ class TestRepositoryGate:
         proc = run_cli("--explain", "DET003")
         assert proc.returncode == 0
         assert "DET003" in proc.stdout and "suppress with" in proc.stdout
+
+    def test_list_rules_grouped_by_family(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        out = proc.stdout
+        for family in ("ASYNC —", "DET —", "HOT —", "PICK —"):
+            assert family in out
+        # Family headers precede their member rules.
+        assert out.index("ASYNC —") < out.index("ASYNC001")
+        assert out.index("DET —") < out.index("DET001")
+
+    def test_explain_async001_shows_worked_example(self):
+        proc = run_cli("--explain", "ASYNC001")
+        assert proc.returncode == 0
+        assert "example:" in proc.stdout
+        assert "run_in_executor" in proc.stdout
+
+    def test_sarif_output_shape(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        proc = run_cli(str(bad), "--no-baseline", "--format", "sarif",
+                       cwd=tmp_path)
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(RULES)
+        (finding,) = run["results"]
+        assert finding["ruleId"] == "DET002"
+        assert finding["level"] == "error"
+        region = finding["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert finding["partialFingerprints"]["reproLint/v1"]
+
+    def test_sarif_clean_tree_has_empty_results(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        proc = run_cli(str(clean), "--no-baseline", "--format", "sarif",
+                       cwd=tmp_path)
+        assert proc.returncode == 0
+        doc = json.loads(proc.stdout)
+        assert doc["runs"][0]["results"] == []
 
     def test_unknown_rule_code_exits_2(self):
         proc = run_cli("--explain", "NOPE999")
