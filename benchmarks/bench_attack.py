@@ -1,0 +1,303 @@
+"""Event-throughput price of an active ADDR-flooding attack at scale.
+
+The adversary suite puts misbehaving nodes *inside* the hot loop: every
+flooded GETADDR response is minted, serialized, and delivered through
+the same transport as honest traffic.  This bench measures what that
+costs — the same 1,500-node hybrid scenario (10x the seed sizing, the
+`bench_scale.py` workload) run twice on the same seed, clean and under
+the paper's 73-flooder attack, reporting events/s for both and the
+overhead factor.
+
+Two gates:
+
+* **self-relative overhead** — the attacked run must keep at least
+  ``--min-ratio`` (default 0.5) of the clean run's events/s measured in
+  the *same process on the same machine*, so the gate is immune to
+  runner noise.  Active flooding costing more than 2x throughput means
+  the adversary path regressed (e.g. per-request pool rebuilds).
+* **baseline comparison** (``--baseline BENCH_attack.json``) — the
+  attacked events/s against the committed figure, with the same
+  loose warn/fail ratios as `bench_scale.py`.
+
+Run standalone to refresh the tracked numbers::
+
+    PYTHONPATH=src python benchmarks/bench_attack.py --out BENCH_attack.json
+
+The figures are only meaningful run exclusively (no concurrent work on
+the box): wall-clock ev/s is the measurement, not simulated time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.adversary import AttackPlan, AttackerSpec
+from repro.netmodel.scenario import ProtocolConfig, ProtocolScenario
+from repro.perf import read_memory
+
+#: The paper's observed attack: 73 flooding nodes (§IV-B, Fig. 8).
+PAPER_FLOODERS = 73
+
+
+def flood_plan(attackers: int, flood_volume: int = 10_000) -> AttackPlan:
+    """The bench's attack: an unreachable-tier ADDR-flooder cohort.
+
+    ``flood_interval=5`` keeps the cohort actively pushing unsolicited
+    ADDR inside the short measured window — the bench prices *active*
+    flooding, not idle attackers.
+    """
+    return AttackPlan(
+        attackers=(
+            AttackerSpec(
+                kind="addr_flooder",
+                count=attackers,
+                flood_volume=flood_volume,
+                flood_interval=5.0,
+                name="bench-flood",
+            ),
+        )
+    )
+
+
+def run_condition(
+    n_reachable: int,
+    warmup: float,
+    duration: float,
+    seed: int,
+    attack: Optional[AttackPlan],
+) -> Dict[str, object]:
+    """One hybrid scenario run; ``attack=None`` is the clean twin."""
+    config = ProtocolConfig(
+        seed=seed,
+        n_reachable=n_reachable,
+        fidelity="hybrid",
+        churn_per_10min=6.0,
+        pre_mined_blocks=10,
+        attack=attack,
+    )
+    t0 = time.perf_counter()
+    scenario = ProtocolScenario(config)
+    build_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    scenario.start(warmup=warmup)
+    warmup_s = time.perf_counter() - t1
+
+    t2 = time.perf_counter()
+    result = scenario.sim.run_for(duration)
+    run_s = time.perf_counter() - t2
+
+    memory = read_memory(collect=True)
+    out: Dict[str, object] = {
+        "condition": "clean" if attack is None else "attacked",
+        "n_reachable": n_reachable,
+        "warmup_sim_s": warmup,
+        "measured_sim_s": duration,
+        "build_wall_s": round(build_s, 1),
+        "warmup_wall_s": round(warmup_s, 1),
+        "run_wall_s": round(run_s, 2),
+        "events_dispatched": int(result),
+        "events_per_sec": round(int(result) / run_s, 1) if run_s > 0 else 0.0,
+        "sync_fraction": round(scenario.sync_fraction(), 4),
+        "peak_rss_bytes": memory.peak_rss_bytes,
+    }
+    if scenario.attack_force is not None:
+        out["attack_stats"] = scenario.attack_force.stats()
+    return out
+
+
+def run_bench(
+    n_reachable: int = 1500,
+    warmup: float = 15.0,
+    duration: float = 20.0,
+    seed: int = 5,
+    attackers: int = PAPER_FLOODERS,
+    flood_volume: int = 10_000,
+) -> Dict[str, object]:
+    clean = run_condition(n_reachable, warmup, duration, seed, None)
+    attacked = run_condition(
+        n_reachable,
+        warmup,
+        duration,
+        seed,
+        flood_plan(attackers, flood_volume),
+    )
+    clean_evps = clean["events_per_sec"]
+    attacked_evps = attacked["events_per_sec"]
+    return {
+        "workload": {
+            "name": "addr_flood_throughput_overhead",
+            "n_reachable": n_reachable,
+            "attackers": attackers,
+            "flood_volume": flood_volume,
+            "warmup_sim_s": warmup,
+            "duration_sim_s": duration,
+            "seed": seed,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "clean_run": clean,
+        "attacked_run": attacked,
+        #: attacked / clean events-per-second, both from this process.
+        "throughput_ratio": (
+            round(attacked_evps / clean_evps, 3) if clean_evps else 0.0
+        ),
+        #: extra events the attack pushed through the loop, per sim-sec.
+        "extra_events": (
+            int(attacked["events_dispatched"]) - int(clean["events_dispatched"])
+        ),
+    }
+
+
+def compare_to_baseline(
+    result: Dict[str, object],
+    baseline_path: str,
+    warn_ratio: float,
+    fail_ratio: float,
+) -> int:
+    """Attacked-run events/s gate against a committed BENCH_attack.json."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base_evps = baseline["attacked_run"]["events_per_sec"]
+    measured = result["attacked_run"]["events_per_sec"]
+    ratio = measured / base_evps if base_evps else float("inf")
+    print(
+        f"baseline comparison: {measured:,.0f} ev/s attacked vs "
+        f"{base_evps:,.0f} ev/s recorded ({ratio:.2f}x)"
+    )
+    if ratio < fail_ratio:
+        print(
+            f"FAIL: attacked events/s fell below {fail_ratio}x the baseline "
+            f"({ratio:.2f}x) — adversary-path regression"
+        )
+        return 1
+    if ratio < warn_ratio:
+        print(
+            f"WARNING: attacked events/s below {warn_ratio}x the baseline "
+            f"({ratio:.2f}x) — investigate before it reaches the fail line"
+        )
+    return 0
+
+
+def _format_run(run: Dict[str, object]) -> list:
+    lines = [
+        f"  {run['condition']:>9}: {run['events_dispatched']:>12,} events"
+        f"  ({run['events_per_sec']:,.0f} ev/s)"
+        f"  sync {run['sync_fraction']:.3f}"
+        f"  run wall {run['run_wall_s']:.1f} s",
+    ]
+    stats = run.get("attack_stats")
+    if stats:
+        lines.append(
+            f"             {stats.get('attackers', 0)} attackers, "
+            f"{stats.get('addrs_flooded', 0):,} addresses flooded"
+        )
+    return lines
+
+
+def _format(result: Dict[str, object]) -> str:
+    work = result["workload"]
+    lines = [
+        f"attack bench ({work['n_reachable']:,} full-tier reachable, "
+        f"{work['attackers']} flooders x {work['flood_volume']:,} addrs):",
+    ]
+    lines.extend(_format_run(result["clean_run"]))
+    lines.extend(_format_run(result["attacked_run"]))
+    lines.append(
+        f"  throughput ratio (attacked/clean): {result['throughput_ratio']}"
+        f"  ({result['extra_events']:+,} events)"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (reduced size so the bench suite stays quick)
+# ----------------------------------------------------------------------
+def test_attack_overhead_smoke(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bench(
+            n_reachable=120, warmup=10.0, duration=15.0, attackers=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(_format(result))
+    attacked = result["attacked_run"]
+    assert attacked["attack_stats"]["addrs_flooded"] > 0
+    assert attacked["events_dispatched"] > 0
+    # The flooders add traffic, they must not melt the loop: even at
+    # smoke scale the attacked run keeps a sane share of clean ev/s.
+    assert result["throughput_ratio"] > 0.3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=1500)
+    parser.add_argument("--warmup", type=float, default=15.0)
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--attackers", type=int, default=PAPER_FLOODERS)
+    parser.add_argument("--flood-volume", type=int, default=10_000)
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.5,
+        help="fail (exit 1) when attacked ev/s falls below this fraction "
+        "of the same-process clean run",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write BENCH_attack.json-style output here"
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="BENCH_attack.json",
+        help="compare attacked events/s against this committed bench file",
+    )
+    parser.add_argument(
+        "--warn-ratio", type=float, default=0.75,
+        help="warn when attacked ev/s falls below this fraction of baseline",
+    )
+    parser.add_argument(
+        "--fail-ratio", type=float, default=0.5,
+        help="exit 1 when attacked ev/s falls below this fraction of baseline",
+    )
+    args = parser.parse_args(argv)
+    result = run_bench(
+        n_reachable=args.nodes,
+        warmup=args.warmup,
+        duration=args.duration,
+        seed=args.seed,
+        attackers=args.attackers,
+        flood_volume=args.flood_volume,
+    )
+    print(_format(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    status = 0
+    if result["throughput_ratio"] < args.min_ratio:
+        print(
+            f"FAIL: attacked run kept only {result['throughput_ratio']}x of "
+            f"clean throughput (floor {args.min_ratio}x) — adversary-path "
+            f"regression"
+        )
+        status = 1
+    if args.baseline is not None:
+        status = max(
+            status,
+            compare_to_baseline(
+                result, args.baseline, args.warn_ratio, args.fail_ratio
+            ),
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

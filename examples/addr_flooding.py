@@ -1,54 +1,60 @@
 #!/usr/bin/env python3
 """The ADDR-flooding attack and its detection (§IV-B, Fig. 8), live.
 
-Plants a protocol-mode malicious node that answers every GETADDR with
-fabricated unreachable addresses and pushes unsolicited ADDR floods.
-Shows (1) the victim's addrman filling with garbage, (2) the victim's
-outgoing-connection success rate collapsing, and (3) the paper's
-detection heuristic — "an honest ADDR response always contains at least
-one reachable address" — catching the flooder with zero false positives.
+Loads the shipped :mod:`repro.adversary` attack plan
+(``attackplan_flood.json``: three flooders placed in AS3320, the paper's
+most flooder-heavy AS) and compiles it onto a live protocol network.
+Shows (1) the honest nodes' addrmans filling with garbage, (2) a fresh
+victim's outgoing-connection success rate collapsing, and (3) the
+paper's detection heuristic — "an honest ADDR response always contains
+at least one reachable address" — scored against the plan's ground
+truth: full recall, zero false positives.
 
 Run:  python examples/addr_flooding.py
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
+from repro.adversary import AttackPlan
 from repro.bitcoin import NodeConfig
-from repro.core import GetAddrConfig, GetAddrCrawler, detect_flooders
+from repro.core import (
+    GetAddrConfig,
+    GetAddrCrawler,
+    detect_flooders,
+    score_detection,
+)
 from repro.core.pipeline import CRAWLER_ADDR
 from repro.core.reports import format_table
 from repro.netmodel import ProtocolConfig, ProtocolScenario
-from repro.netmodel.malicious import MaliciousBitcoinNode
 from repro.netmodel.population import NodeClass
+
+PLAN_FILE = Path(__file__).resolve().parent / "attackplan_flood.json"
 
 
 def main() -> None:
-    print("Building a 25-node network with one ADDR flooder in AS3320...")
+    plan = AttackPlan.from_file(PLAN_FILE)
+    print(
+        f"Building a 25-node network under {PLAN_FILE.name} "
+        f"({plan.total_count} flooder(s) in AS3320)..."
+    )
     scenario = ProtocolScenario(
         ProtocolConfig(
             n_reachable=25,
             seed=77,
             mining=False,
             node_config=NodeConfig(serve_repeated_getaddr=True),
+            attack=plan,
         )
     )
-    flooder = MaliciousBitcoinNode(
-        scenario.sim,
-        scenario.universe.allocate_address(3320),
-        population=scenario.population,
-        flood_volume=4000,
-        flood_interval=15.0,
-    )
-    scenario.nodes.append(flooder)
+    force = scenario.attack_force
+    assert force is not None
     scenario.start(warmup=600.0)
-    # The flooder joins like any node: connects out, then starts pushing.
-    flooder.bootstrap(
-        [record.addr for record in scenario.population.reachable[:25]]
-    )
-    flooder.start()
     scenario.sim.run_for(900.0)
 
-    print(f"  flooder pushed {flooder.addrs_flooded} unsolicited records")
+    stats = force.stats()
+    print(f"  flooders pushed {stats['addrs_flooded']} fabricated records")
 
     # (1) How polluted did the network's address plane get?
     def fake_share(node) -> float:
@@ -62,10 +68,11 @@ def main() -> None:
         )
         return fakes / len(addrs)
 
+    attacker_addrs = set(force.attacker_addrs())
     neighbours = [
         node
         for node in scenario.running_nodes()
-        if any(p.remote_addr == flooder.addr for p in node.peers.values())
+        if any(p.remote_addr in attacker_addrs for p in node.peers.values())
     ]
     print()
     print(
@@ -75,15 +82,15 @@ def main() -> None:
                 (str(node.addr), len(node.addrman), round(fake_share(node), 3))
                 for node in neighbours[:6]
             ],
-            title="Addrman pollution at the flooder's neighbours",
+            title="Addrman pollution at the flooders' neighbours",
         )
     )
 
-    # (2) A fresh victim bootstrapping near the flooder.
+    # (2) A fresh victim bootstrapping off a flooder.
     victim = scenario.make_observer_node(
         NodeConfig(track_connection_attempts=True)
     )
-    victim.bootstrap([flooder.addr])
+    victim.bootstrap([force.attackers[0].addr])
     victim.start()
     scenario.sim.run_for(600.0)
     rate = victim.connection_success_rate()
@@ -94,15 +101,17 @@ def main() -> None:
         f"(paper's network-wide measurement: 11.2%)"
     )
 
-    # (3) Run the detector over a crawl of every listener.
-    targets = [node.addr for node in scenario.running_nodes()]
+    # (3) Run the detector over a crawl of every listener, then score it
+    # against the plan's ground truth.
+    honest = [node.addr for node in scenario.running_nodes()]
+    targets = honest + sorted(attacker_addrs)
     crawler = GetAddrCrawler(
         scenario.sim, CRAWLER_ADDR, GetAddrConfig(max_rounds=20)
     )
     crawl = crawler.run_to_completion(targets)
     report = detect_flooders(
         crawl,
-        reachable_known=set(targets) - {flooder.addr},
+        reachable_known=set(honest),
         min_addresses=500,
         asn_of=scenario.universe.asn_of,
     )
@@ -117,10 +126,16 @@ def main() -> None:
             title="Detection report (heuristic: no reachable addr in any ADDR)",
         )
     )
-    caught = any(f.peer == flooder.addr for f in report.findings)
-    false_positives = [f for f in report.findings if f.peer != flooder.addr]
+    metrics = score_detection(
+        report, attackers=force.attacker_addrs(), honest=honest
+    )
     print()
-    print(f"Flooder caught: {caught}; false positives: {len(false_positives)}")
+    print(
+        f"Flooders caught: {len(metrics.detected)}/{plan.total_count} "
+        f"(recall {metrics.recall:.2f}); "
+        f"false positives: {len(metrics.false_positives)} "
+        f"over {metrics.honest_scored} honest peers"
+    )
 
 
 if __name__ == "__main__":

@@ -1,87 +1,136 @@
 #!/usr/bin/env python3
-"""Root-causing a synchronization drop: the paper's Fig. 1 story, live.
+"""Eclipsing a node out of synchronization, live.
 
-Runs the same network twice — once with 2019-level churn and once with
-2020-level (doubled) churn among synchronized nodes — and shows how the
-measured synchronization distribution shifts, exactly as the paper's
-kernel densities do.  Also prints an ASCII rendering of the two KDEs.
+Runs the same network twice with the same seed — once clean, once under
+a :mod:`repro.adversary` plan that aims an eclipse cohort at one victim
+while sync-stallers advertise blocks they never deliver.  The eclipse
+campaigners monopolize the victim's inbound slots and feed it only
+attacker addresses — a standing node shrugs this off because its honest
+outbound connections survive.  The kill comes at *restart*: a reborn
+node bootstraps from whatever its poisoned address book holds, dials
+the stallers, and wedges at height 0 while its clean-run twin completes
+initial block download.
 
-Run:  python examples/eclipse_of_sync.py  [--duration-hours 2]
+Run:  python examples/eclipse_of_sync.py  [--duration-hours 0.5]
 """
 
 from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
-from repro.core import SyncCampaignConfig, run_2019_vs_2020
-from repro.core.reports import comparison_table
-from repro.netmodel import calibration as cal
+from repro.adversary import AttackPlan, AttackerSpec
+from repro.core.reports import format_table
+from repro.netmodel import ProtocolConfig, ProtocolScenario
 from repro.units import HOURS
 
 
-def ascii_density(density, width: int = 64, height: int = 8) -> str:
-    """A coarse vertical-bars rendering of a KDE curve."""
-    values = np.interp(
-        np.linspace(density.grid[0], density.grid[-1], width),
-        density.grid,
-        density.density,
-    )
-    peak = values.max() or 1.0
-    blocks = " ▁▂▃▄▅▆▇█"
-    return "".join(
-        blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))]
-        for v in values
+def build_scenario(args, attack):
+    return ProtocolScenario(
+        ProtocolConfig(
+            n_reachable=args.nodes,
+            seed=args.seed,
+            mining=True,
+            block_interval=120.0,
+            pre_mined_blocks=30,
+            attack=attack,
+        )
     )
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--duration-hours", type=float, default=2.0)
-    parser.add_argument("--nodes", type=int, default=60)
+    parser.add_argument("--duration-hours", type=float, default=0.5)
+    parser.add_argument("--nodes", type=int, default=25)
     parser.add_argument("--seed", type=int, default=21)
     args = parser.parse_args()
+    duration = args.duration_hours * HOURS
 
-    base = SyncCampaignConfig(
-        n_reachable=args.nodes,
-        duration=args.duration_hours * HOURS,
-        seed=args.seed,
-    )
-    print(
-        f"Running two campaigns ({args.nodes} nodes, "
-        f"{args.duration_hours}h each): 2019-level vs 2020-level churn..."
-    )
-    results = run_2019_vs_2020(base)
-    r2019, r2020 = results["2019"], results["2020"]
-
-    print()
-    print(
-        comparison_table(
-            [
-                ("mean sync 2019 (%)", cal.SYNC_MEAN_2019, r2019.mean),
-                ("median sync 2019 (%)", cal.SYNC_MEDIAN_2019, r2019.median),
-                ("mean sync 2020 (%)", cal.SYNC_MEAN_2020, r2020.mean),
-                ("median sync 2020 (%)", cal.SYNC_MEDIAN_2020, r2020.median),
-                ("sync departures/10min 2019", cal.SYNC_DEPARTURES_2019,
-                 r2019.sync_departures_per_10min),
-                ("sync departures/10min 2020", cal.SYNC_DEPARTURES_2020,
-                 r2020.sync_departures_per_10min),
-            ],
-            title="Fig. 1 reproduction",
+    # The victim is deterministic for a given seed: the scenario's first
+    # standing node (also the eclipse plan's default target).
+    plan = AttackPlan(
+        attackers=(
+            AttackerSpec(kind="eclipse", count=4, connections=7),
+            AttackerSpec(
+                kind="sync_staller", count=2, tier="reachable",
+                height_lead=500, announce_interval=30.0,
+            ),
         )
     )
+    print(
+        f"Running {args.nodes} nodes twice ({args.duration_hours}h each): "
+        f"clean, then under {plan.total_count} attackers "
+        f"(4 eclipse + 2 sync-staller)..."
+    )
+
+    heights = {}
+    for label, attack in (("clean", None), ("eclipsed", plan)):
+        scenario = build_scenario(args, attack)
+        victim = scenario.nodes[0]
+        scenario.start(warmup=600.0)
+        scenario.sim.run_for(duration)
+
+        if attack is not None:
+            force = scenario.attack_force
+            assert force is not None
+            attacker_addrs = set(force.attacker_addrs())
+            inbound = [p for p in victim.peers.values() if p.is_inbound]
+            grip = [p for p in inbound if p.remote_addr in attacker_addrs]
+            stats = force.stats()
+            print()
+            print(
+                format_table(
+                    ("metric", "value"),
+                    [
+                        ("victim inbound slots held by attackers",
+                         f"{len(grip)}/{len(inbound)}"),
+                        ("cohort addresses pushed at victim",
+                         stats.get("eclipse_addrs_sent", 0)),
+                        ("phantom-block GETDATAs left hanging",
+                         stats.get("stalled_getdata", 0)),
+                    ],
+                    title="Eclipse grip on the standing victim",
+                )
+            )
+
+        # The restart: a reborn node with an empty address book
+        # bootstraps from whatever it was last told about.  Clean run —
+        # honest seeds; eclipsed run — the attacker addresses the cohort
+        # spent the campaign pushing.
+        from repro.bitcoin import BitcoinNode
+
+        reborn = BitcoinNode(
+            scenario.sim,
+            scenario.universe.allocate_address(3320),
+            scenario._clone_node_config(),
+        )
+        if attack is None:
+            contacts = [node.addr for node in scenario.nodes[1:9]]
+        else:
+            contacts = force.attacker_addrs()
+        reborn.bootstrap(contacts)
+        reborn.start()
+        scenario.sim.run_for(900.0)
+        heights[label] = (reborn.chain.height, scenario.best_height)
 
     print()
-    print("KDE of synchronization samples (x: 0..100% synchronized):")
-    print(f"  2019: {ascii_density(r2019.density())}")
-    print(f"  2020: {ascii_density(r2020.density())}")
-    drop = r2019.mean - r2020.mean
+    rows = []
+    for label in ("clean", "eclipsed"):
+        reborn_height, best = heights[label]
+        rows.append((label, reborn_height, best, best - reborn_height))
+    print(
+        format_table(
+            ("run", "reborn height", "network best", "blocks behind"),
+            rows,
+            title="Restarted victim after 15 minutes, same seed",
+        )
+    )
+    clean_lag = heights["clean"][1] - heights["clean"][0]
+    eclipsed_lag = heights["eclipsed"][1] - heights["eclipsed"][0]
     print()
     print(
-        f"Doubling synchronized-node churn cost {drop:.1f} points of mean "
-        f"synchronization (paper: "
-        f"{cal.SYNC_MEAN_2019 - cal.SYNC_MEAN_2020:.1f} points)."
+        f"The eclipse cost the restarted victim "
+        f"{eclipsed_lag - clean_lag} blocks of synchronization it reaches "
+        f"when bootstrapping from honest peers."
     )
 
 

@@ -1,0 +1,220 @@
+"""Compile an :class:`AttackPlan` onto a live protocol scenario.
+
+``install_attack`` materializes every attacker cohort as real nodes in
+the scenario's world — placed through the asmap universe per the plan's
+scope, bootstrapped with reachable contacts, and scheduled to activate
+at each spec's ``start`` on the scenario clock (warmup included, the
+same convention fault windows use).
+
+Attackers are deliberately **not** appended to ``scenario.nodes``: the
+honest-node roster drives churn, mining, fault targeting, and the
+sync-fraction metric, and an attacker must neither be churned out, win
+a mining draw, nor count as "synchronized".  They live on the returned
+:class:`AttackForce`, whose aggregated counters flow into campaign
+results.
+
+Placement draws come from one dedicated ``("attack",)`` stream, so the
+same plan on the same seed lands attackers on the same addresses no
+matter what else the scenario does — and an attack-free run's streams
+are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..simnet.addresses import NetAddr
+from .behaviors import (
+    AddrFlooderNode,
+    AdversaryNode,
+    EclipseNode,
+    InvSpammerNode,
+    SyncStallerNode,
+)
+from .plan import (
+    KIND_ADDR_FLOODER,
+    KIND_ECLIPSE,
+    KIND_INV_SPAMMER,
+    KIND_SYNC_STALLER,
+    AttackerSpec,
+    AttackPlan,
+)
+
+__all__ = ["AttackForce", "install_attack", "place_address"]
+
+#: Reachable contacts each attacker bootstraps its addrman with.
+_BOOTSTRAP_CONTACTS = 16
+
+#: Prefix-scoped placement allocates host numbers downward from here so
+#: it cannot collide with the universe's upward allocation in the same
+#: /16 (the universe stops at 0xFFFE hosts per claimed prefix).
+_PREFIX_HOST_TOP = 0xFFFE
+
+
+class AttackForce:
+    """The materialized attackers of one plan, with their counters."""
+
+    def __init__(self, plan: AttackPlan, attackers: List[AdversaryNode]) -> None:
+        self.plan = plan
+        self.attackers = attackers
+
+    def __len__(self) -> int:
+        return len(self.attackers)
+
+    def attacker_addrs(self) -> List[NetAddr]:
+        return [node.addr for node in self.attackers]
+
+    def by_kind(self, kind: str) -> List[AdversaryNode]:
+        return [node for node in self.attackers if node.kind == kind]
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregated per-kind counters (stable key order)."""
+        totals: Dict[str, int] = {"attackers": len(self.attackers)}
+        for node in self.attackers:
+            key = f"n_{node.kind}"
+            totals[key] = totals.get(key, 0) + 1
+            for name, value in node.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return dict(sorted(totals.items()))
+
+
+def place_address(
+    universe: Any,
+    spec: AttackerSpec,
+    index: int,
+    rng,
+    prefix_hosts: Dict[int, int],
+) -> NetAddr:
+    """One attacker address per the spec's scope (or hosting profile).
+
+    Shared by both fidelities: protocol-mode attackers here, crawl-mode
+    flooder placement in ``LongitudinalScenario``.  ``prefix_hosts``
+    carries the per-/16 allocation cursor across calls for one install.
+    """
+    scope = spec.scope
+    if scope is not None and scope.addrs:
+        if index < len(scope.addrs):
+            return NetAddr.parse(scope.addrs[index])
+        # More attackers than literal addresses: fall through to the
+        # remaining selectors, or the hosting profile.
+    if scope is not None and scope.asns:
+        asn = scope.asns[index % len(scope.asns)]
+        return universe.allocate_address(asn)
+    if scope is not None and scope.prefixes:
+        prefix = scope.prefixes[index % len(scope.prefixes)]
+        host = prefix_hosts.get(prefix, _PREFIX_HOST_TOP)
+        prefix_hosts[prefix] = host - 1
+        return NetAddr(ip=(prefix << 16) | host, port=8333)
+    asn = universe.sample_asn("reachable", rng)
+    return universe.allocate_address(asn)
+
+
+def install_attack(scenario: Any, plan: AttackPlan) -> AttackForce:
+    """Materialize ``plan`` onto a built :class:`ProtocolScenario`."""
+    plan.validate_for(scenario.config.n_reachable)
+    sim = scenario.sim
+    rng = sim.random.stream("attack")
+    attackers: List[AdversaryNode] = []
+    prefix_hosts: Dict[int, int] = {}
+
+    # Pass 1: place every attacker, so eclipse cohorts can name the full
+    # attacker address set before any node is constructed.
+    placements: List[List[NetAddr]] = []
+    for spec_index, spec in enumerate(plan.attackers):
+        placements.append(
+            [
+                place_address(scenario.universe, spec, i, rng, prefix_hosts)
+                for i in range(spec.count)
+            ]
+        )
+    all_addrs = tuple(addr for cohort in placements for addr in cohort)
+
+    # Pass 2: build, bootstrap, and schedule each attacker.
+    for spec_index, spec in enumerate(plan.attackers):
+        label = spec.name or f"{spec_index}:{spec.kind}"
+        victim: Optional[NetAddr] = None
+        if spec.kind == KIND_ECLIPSE:
+            if spec.victim:
+                victim = NetAddr.parse(spec.victim)
+                if victim in all_addrs:
+                    raise ConfigurationError(
+                        f"attacker #{spec_index}: victim {spec.victim!r} "
+                        "overlaps the attacker placement — a node cannot "
+                        "eclipse itself"
+                    )
+                if not any(node.addr == victim for node in scenario.nodes):
+                    raise ConfigurationError(
+                        f"attacker #{spec_index}: victim {spec.victim!r} "
+                        "is not a standing node of this scenario"
+                    )
+            else:
+                victim = scenario.nodes[0].addr
+        for i, addr in enumerate(placements[spec_index]):
+            name = f"{label}#{i}" if spec.count > 1 else label
+            config = scenario._clone_node_config()
+            config.listen = spec.tier == "reachable"
+            node: AdversaryNode
+            if spec.kind == KIND_ADDR_FLOODER:
+                config.serve_repeated_getaddr = True
+                volume = spec.flood_volume
+                if volume == 0:
+                    # Deterministic per-attacker draw from the scenario's
+                    # calibrated volume model, on the attacker's stream.
+                    from ..netmodel.malicious import FloodVolumeModel
+
+                    volume = FloodVolumeModel().sample(
+                        sim.random.stream("adversary", name)
+                    )
+                node = AddrFlooderNode(
+                    sim,
+                    addr,
+                    population=scenario.population,
+                    flood_volume=volume,
+                    flood_interval=spec.flood_interval,
+                    config=config,
+                    name=name,
+                )
+            elif spec.kind == KIND_ECLIPSE:
+                node = EclipseNode(
+                    sim,
+                    addr,
+                    victim=victim,
+                    cohort=all_addrs,
+                    connections_target=spec.connections,
+                    config=config,
+                    name=name,
+                )
+            elif spec.kind == KIND_SYNC_STALLER:
+                node = SyncStallerNode(
+                    sim,
+                    addr,
+                    height_lead=spec.height_lead,
+                    announce_interval=spec.announce_interval,
+                    config=config,
+                    name=name,
+                )
+            elif spec.kind == KIND_INV_SPAMMER:
+                node = InvSpammerNode(
+                    sim,
+                    addr,
+                    spam_batch=spec.spam_batch,
+                    spam_interval=spec.spam_interval,
+                    config=config,
+                    name=name,
+                )
+            else:  # pragma: no cover - plan.validate() rejects these
+                raise ConfigurationError(f"unknown attacker kind {spec.kind!r}")
+            contacts = [a for a in scenario._reachable_pool if a != addr]
+            sample = rng.sample(
+                contacts, min(_BOOTSTRAP_CONTACTS, len(contacts))
+            )
+            node.bootstrap(sample)
+            if config.listen:
+                scenario.seeder.register(addr)
+            # Activation is always event-driven (even for start=0) so an
+            # attacker never comes up before the honest listeners that
+            # scenario.start() brings online synchronously.
+            sim.schedule(spec.start, node.start)
+            attackers.append(node)
+    return AttackForce(plan, attackers)

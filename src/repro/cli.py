@@ -9,6 +9,7 @@ Commands
 ``campaign``   the Fig. 2 crawl campaign (Figs. 3-5, 8, 12, 13, Table I)
 ``sync``       the Fig. 1 contrast (2019-like vs 2020-like churn)
 ``chaos``      sync-% degradation vs. fault intensity (``repro.faults``)
+``attack``     sync-% degradation vs. attacker count (``repro.adversary``)
 ``relay``      the Fig. 10/11 relay-delay measurement
 ``conn``       the Fig. 6/7 connection experiments
 ``store``      inspect the run store (``ls`` / ``show`` / ``gc`` / ``diff``)
@@ -390,6 +391,129 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .adversary import AttackPlan
+
+    plan = AttackPlan.from_file(args.plan)
+    counts = [int(part) for part in args.counts.split(",")]
+    base = core.SyncCampaignConfig(
+        n_reachable=args.nodes,
+        fidelity=args.fidelity,
+        duration=args.hours * HOURS,
+        seed=args.seed,
+    )
+    seeds = core.seed_range(args.seed, args.seeds)
+    print(
+        f"attack: nodes={args.nodes} duration={args.hours}h plan={args.plan} "
+        f"({len(plan)} cohort(s)) counts={counts} seeds={seeds} "
+        f"workers={args.workers or 'auto'}..."
+    )
+    supervisor = _supervisor_config(args)
+    if args.store:
+        stored = core.run_stored_attack_sweep(
+            args.store,
+            plan,
+            base,
+            counts=counts,
+            seeds=seeds,
+            workers=args.workers,
+            supervisor=supervisor,
+        )
+        result = stored.result
+        if stored.cached:
+            print(
+                f"cache hit: run {stored.manifest.run_id} is complete — "
+                f"returning the stored result (no simulation)"
+            )
+        elif stored.resumed_from is not None:
+            print(
+                f"resumed run {stored.manifest.run_id} from level "
+                f"{stored.resumed_from}/{len(counts)}"
+            )
+        else:
+            print(f"stored as run {stored.manifest.run_id}")
+    else:
+        result = core.run_attack_sweep(
+            plan,
+            base,
+            counts=counts,
+            seeds=seeds,
+            workers=args.workers,
+            supervisor=supervisor,
+        )
+    for level in result.levels:
+        _report_supervision(f"attackers={level.count}", level.sweep)
+    rows = []
+    for row in result.degradation_table():
+        delta = row["delta_vs_baseline"]
+        rows.append(
+            (
+                row["attackers"],
+                round(row["mean_sync"], 2),
+                round(row["median_sync"], 2),
+                "-" if delta is None else round(delta, 2),
+                len(row["failed_seeds"]),
+                len(row["retried_seeds"]),
+            )
+        )
+    print(
+        format_table(
+            ("attackers", "mean sync %", "median sync %",
+             "delta vs baseline", "failed", "retried"),
+            rows,
+        )
+    )
+    print()
+    print("attacker totals per count level:")
+    for level in result.levels:
+        stats = level.attack_stats
+        nonzero = {k: v for k, v in stats.items() if v}
+        print(f"  {level.count}: {nonzero if nonzero else '(no attack)'}")
+    if args.mitigations:
+        print()
+        print(
+            "mitigations: rerunning the full attack under §V policies "
+            "(tried-only ADDR, 17-day tried horizon)..."
+        )
+        comparison = core.compare_mitigations(
+            plan, base, seeds=seeds,
+            workers=args.workers, supervisor=supervisor,
+        )
+        mrows = [
+            (
+                row["condition"],
+                round(row["mean_sync"], 2),
+                round(row["median_sync"], 2),
+                round(row["delta_vs_clean"], 2),
+            )
+            for row in comparison.table()
+        ]
+        print(
+            format_table(
+                ("condition", "mean sync %", "median sync %",
+                 "delta vs clean"),
+                mrows,
+            )
+        )
+        print(
+            f"hardening recovered {comparison.recovered:+.2f} "
+            f"sync percentage points"
+        )
+    if args.export:
+        out = Path(args.export)
+        out.mkdir(parents=True, exist_ok=True)
+        with open(out / "attack_degradation.json", "w", encoding="utf-8") as fh:
+            json.dump(result.degradation_table(), fh, indent=2, sort_keys=True)
+        for level in result.levels:
+            export_mod.export_sync_samples(
+                level.sweep,
+                out / f"sync_samples_attackers_{level.count}.csv",
+                label=f"attackers={level.count}",
+            )
+        print(f"exported degradation table and samples to {out}/")
+    return 0
+
+
 def _cmd_relay(args: argparse.Namespace) -> int:
     config = core.RelayExperimentConfig(
         duration=args.hours * HOURS, n_reachable=args.nodes, seed=args.seed
@@ -718,6 +842,49 @@ def build_parser() -> argparse.ArgumentParser:
     _supervisor_flags(chaos)
     _profile_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    attack = sub.add_parser(
+        "attack",
+        help="measure sync-%% degradation vs. attacker count",
+    )
+    attack.add_argument(
+        "--plan", type=str, required=True, metavar="PLAN.json",
+        help="attack plan to scale across the attacker-count axis",
+    )
+    attack.add_argument(
+        "--counts", type=str, default="0,18,36,73", metavar="LIST",
+        help="comma-separated attacker counts (0 = clean baseline; "
+        "default ends at the paper's 73-node attack)",
+    )
+    attack.add_argument("--nodes", type=int, default=40)
+    attack.add_argument("--hours", type=float, default=1.0)
+    attack.add_argument("--seed", type=int, default=21)
+    attack.add_argument(
+        "--fidelity", choices=("full", "hybrid"), default="full",
+        help="node-tier fidelity for the underlying sync campaigns",
+    )
+    attack.add_argument(
+        "--seeds", type=int, default=2, metavar="N",
+        help="seeds per attacker-count level",
+    )
+    attack.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: CPU count)",
+    )
+    attack.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="checkpoint each count level into this run store "
+        "(resume/cache on re-run)",
+    )
+    attack.add_argument(
+        "--mitigations", action="store_true",
+        help="also rerun the full attack under the paper's §V policy "
+        "refinements and report the sync recovered",
+    )
+    attack.add_argument("--export", type=str, default=None, metavar="DIR")
+    _supervisor_flags(attack)
+    _profile_flag(attack)
+    attack.set_defaults(func=_cmd_attack)
 
     relay = sub.add_parser("relay", help="run the Fig. 10/11 relay experiment")
     relay.add_argument("--nodes", type=int, default=30)

@@ -31,10 +31,22 @@ from . import export, figures
 from .crawler import AddressCrawler, CrawlInput, SourceStats
 from .getaddr import CrawlResult, GetAddrConfig, GetAddrCrawler, PeerHarvest
 from .malicious_detect import (
+    DetectionMetrics,
     DetectionReport,
     MaliciousFinding,
     detect_flooders,
     merge_reports,
+    score_detection,
+    time_to_detection,
+)
+from .attack_experiments import (
+    AttackSweepLevel,
+    AttackSweepResult,
+    MitigationComparison,
+    StoredAttackSweep,
+    compare_mitigations,
+    run_attack_sweep,
+    run_stored_attack_sweep,
 )
 from .fault_experiments import (
     FaultSweepLevel,
@@ -100,6 +112,8 @@ __all__ = [
     "ASHostingRow",
     "AddrComposition",
     "AddressCrawler",
+    "AttackSweepLevel",
+    "AttackSweepResult",
     "BlockPropagation",
     "CampaignConfig",
     "CampaignResult",
@@ -109,6 +123,7 @@ __all__ = [
     "ChurnStats",
     "CrawlInput",
     "CrawlResult",
+    "DetectionMetrics",
     "DetectionReport",
     "FaultSweepLevel",
     "FaultSweepResult",
@@ -117,6 +132,7 @@ __all__ = [
     "HijackPlan",
     "HostingReport",
     "MaliciousFinding",
+    "MitigationComparison",
     "PeerHarvest",
     "ProbeCampaignResult",
     "ProbeConfig",
@@ -127,6 +143,7 @@ __all__ = [
     "SnapshotResult",
     "SourceStats",
     "StabilityResult",
+    "StoredAttackSweep",
     "SuccessResult",
     "SuccessRun",
     "SupervisedRun",
@@ -146,6 +163,7 @@ __all__ = [
     "build_relay_scenario",
     "classify_harvest",
     "common_top_ases",
+    "compare_mitigations",
     "comparison_table",
     "composition",
     "departures_between",
@@ -158,6 +176,7 @@ __all__ = [
     "merge_reports",
     "plan_hijack",
     "run_2019_vs_2020",
+    "run_attack_sweep",
     "run_2019_vs_2020_sweep",
     "run_campaign_sweep",
     "run_connection_stability",
@@ -166,14 +185,17 @@ __all__ = [
     "run_multi_seed_supervised",
     "run_relay_experiment",
     "run_resync_experiment",
+    "run_stored_attack_sweep",
     "run_supervised",
     "run_sync_campaign",
     "run_sync_campaign_sweep",
     "run_sync_under_faults",
+    "score_detection",
     "seed_range",
     "series_preview",
     "summarize_attempt_durations",
     "synchronized_departures",
     "table_composition",
     "target_shifts",
+    "time_to_detection",
 ]

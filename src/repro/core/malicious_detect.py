@@ -1,4 +1,4 @@
-"""Malicious-peer detection heuristic (§IV-B, Fig. 8).
+"""Malicious-peer detection heuristic (§IV-B, Fig. 8) and its scoring.
 
 The paper's heuristic: every honest ADDR response contains at least one
 reachable address, because (1) the sender always includes its own —
@@ -7,12 +7,20 @@ reachable nodes whose addresses populate its tried table.  A peer whose
 *entire* harvested ADDR output contains no reachable address is therefore
 flooding, and the volume of unreachable addresses it pushed measures the
 attack (73 nodes; 8 above 100K addresses; one above 400K; 59% in AS3320).
+
+With the adversary suite providing ground truth (``repro.adversary``),
+the heuristic itself becomes measurable: :func:`score_detection` turns a
+report plus the true attacker/honest address sets into recall,
+false-positive rate, and precision, and :func:`time_to_detection` reads
+per-attacker first-flag times off a timed report sequence.  The scores
+also document the heuristic's blind spot — sync-stallers and inventory
+spammers never touch the ADDR plane, so their recall is structurally 0.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..simnet.addresses import NetAddr
 from .getaddr import CrawlResult
@@ -148,3 +156,110 @@ def merge_reports(
             for f in findings
         ]
     return DetectionReport(findings=findings, min_addresses=min_addresses)
+
+
+# ---------------------------------------------------------------------------
+# Scoring against ground truth (the adversary suite closes this loop)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DetectionMetrics:
+    """A detection report scored against known attacker placement.
+
+    ``recall`` is over the attackers the crawl *could* have seen (those
+    in ``attackers``); ``false_positive_rate`` is over the honest peers
+    the crawl actually harvested.  ``time_to_detection`` holds, per
+    detected attacker, the campaign time of the first report flagging it
+    (populated by :func:`time_to_detection`).
+    """
+
+    detected: List[NetAddr]
+    missed: List[NetAddr]
+    false_positives: List[NetAddr]
+    honest_scored: int
+    time_to_detection: Dict[NetAddr, float] = field(default_factory=dict)
+
+    @property
+    def recall(self) -> float:
+        total = len(self.detected) + len(self.missed)
+        return len(self.detected) / total if total else 1.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        if self.honest_scored == 0:
+            return 0.0
+        return len(self.false_positives) / self.honest_scored
+
+    @property
+    def precision(self) -> float:
+        flagged = len(self.detected) + len(self.false_positives)
+        return len(self.detected) / flagged if flagged else 1.0
+
+    @property
+    def mean_time_to_detection(self) -> Optional[float]:
+        if not self.time_to_detection:
+            return None
+        return sum(self.time_to_detection.values()) / len(
+            self.time_to_detection
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for tables/exports."""
+        mean_ttd = self.mean_time_to_detection
+        return {
+            "recall": self.recall,
+            "false_positive_rate": self.false_positive_rate,
+            "precision": self.precision,
+            "detected": float(len(self.detected)),
+            "missed": float(len(self.missed)),
+            "false_positives": float(len(self.false_positives)),
+            "mean_time_to_detection": (
+                float("nan") if mean_ttd is None else mean_ttd
+            ),
+        }
+
+
+def score_detection(
+    report: DetectionReport,
+    attackers: Iterable[NetAddr],
+    honest: Iterable[NetAddr],
+) -> DetectionMetrics:
+    """Score ``report`` against ground-truth attacker placement.
+
+    ``attackers`` is the true attacker address set (e.g.
+    ``AttackForce.attacker_addrs()`` or the longitudinal flooder list);
+    ``honest`` the honest peers the same crawl covered — every flagged
+    honest peer is a false positive, every unflagged attacker a miss.
+    """
+    attacker_set = set(attackers)
+    honest_set = set(honest) - attacker_set
+    flagged = {finding.peer for finding in report.findings}
+    detected = sorted(flagged & attacker_set)
+    missed = sorted(attacker_set - flagged)
+    false_positives = sorted(flagged & honest_set)
+    return DetectionMetrics(
+        detected=detected,
+        missed=missed,
+        false_positives=false_positives,
+        honest_scored=len(honest_set),
+    )
+
+
+def time_to_detection(
+    timed_reports: Sequence[Tuple[float, DetectionReport]],
+    attackers: Iterable[NetAddr],
+) -> Dict[NetAddr, float]:
+    """First flag time per attacker over a report series.
+
+    ``timed_reports`` pairs each detection pass with its campaign time
+    (one entry per crawl snapshot); an attacker never flagged is absent
+    from the result.
+    """
+    attacker_set = set(attackers)
+    first_seen: Dict[NetAddr, float] = {}
+    for when, report in sorted(timed_reports, key=lambda pair: pair[0]):
+        for finding in report.findings:
+            if finding.peer in attacker_set and finding.peer not in first_seen:
+                first_seen[finding.peer] = when
+    return first_seen

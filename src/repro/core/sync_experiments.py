@@ -24,7 +24,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..adversary.plan import AttackPlan
 from ..analysis.kde import DensityEstimate, kde
+from ..bitcoin.config import NodeConfig, PolicyConfig
 from ..faults.plan import FaultPlan
 from ..netmodel.scenario import ProtocolConfig, ProtocolScenario
 from .sync_monitor import SyncMonitor
@@ -58,6 +60,14 @@ class SyncCampaignConfig:
     #: Fault ``start`` times are relative to the scenario clock, which
     #: includes the warm-up period.
     faults: Optional[FaultPlan] = None
+    #: Optional attack plan (see ``repro.adversary``).  Attacker
+    #: ``start`` times follow the same scenario-clock convention as
+    #: fault windows.  Part of run-store keys through ``asdict``.
+    attack: Optional[AttackPlan] = None
+    #: Node policies for the honest network (``None`` = defaults): the
+    #: §V mitigation knobs — tried-only ADDR responses, shortened tried
+    #: horizon — applied when measuring attack mitigations.
+    policies: Optional[PolicyConfig] = None
 
 
 @dataclass
@@ -74,6 +84,9 @@ class SyncCampaignResult:
     #: What the fault injector did (``FaultStats.as_dict()``); ``None``
     #: for fault-free campaigns.
     fault_stats: Optional[Dict[str, int]] = None
+    #: What the attackers did (``AttackForce.stats()``); ``None`` for
+    #: attack-free campaigns.
+    attack_stats: Optional[Dict[str, int]] = None
 
     @property
     def mean(self) -> float:
@@ -93,6 +106,10 @@ def run_sync_campaign(
 ) -> SyncCampaignResult:
     """Run one campaign and return its synchronization distribution."""
     config = config if config is not None else SyncCampaignConfig()
+    node_config = (
+        NodeConfig() if config.policies is None
+        else NodeConfig(policies=config.policies)
+    )
     scenario = ProtocolScenario(
         ProtocolConfig(
             seed=config.seed,
@@ -101,7 +118,9 @@ def run_sync_campaign(
             churn_per_10min=config.churn_per_10min,
             block_interval=config.block_interval,
             pre_mined_blocks=config.pre_mined_blocks,
+            node_config=node_config,
             faults=config.faults,
+            attack=config.attack,
         )
     )
     scenario.start(warmup=config.warmup)
@@ -112,6 +131,7 @@ def run_sync_campaign(
     monitor.stop()
     departures = monitor.departure_stats()
     injector = scenario.fault_injector
+    force = scenario.attack_force
     return SyncCampaignResult(
         sync_samples=monitor.sync_percents(),
         sync_departures_per_10min=monitor.departures_per_10min(),
@@ -119,6 +139,7 @@ def run_sync_campaign(
         config=config,
         truncated=run.truncated,
         fault_stats=None if injector is None else injector.stats.as_dict(),
+        attack_stats=None if force is None else force.stats(),
     )
 
 
@@ -149,6 +170,8 @@ def run_2019_vs_2020(
             seed=base.seed,
             max_events=base.max_events,
             faults=base.faults,
+            attack=base.attack,
+            policies=base.policies,
         )
         results[label] = run_sync_campaign(config)
     return results

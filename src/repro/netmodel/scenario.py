@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import ScenarioError
+from ..errors import ConfigurationError, ScenarioError
 from ..faults.plan import FaultPlan
 from ..simnet.addresses import NetAddr
 from ..simnet.simulator import Simulator
@@ -39,6 +39,11 @@ from ..bitcoin.config import NodeConfig
 from ..bitcoin.light import LightNode
 from ..bitcoin.mining import MiningProcess, TransactionGenerator
 from ..bitcoin.node import BitcoinNode
+
+# The adversary package sits above bitcoin/ and below netmodel/ in the
+# layering; importing only its plan module here keeps construction
+# (install_attack) a lazy, scenario-time import.
+from ..adversary.plan import KIND_ADDR_FLOODER, AttackPlan
 from . import calibration as cal
 from .addr_server import AddrServer
 from .asmap import ASUniverse
@@ -169,10 +174,26 @@ class LongitudinalConfig:
     #: Part of the config dataclass, hence of run-store keys: the same
     #: campaign under different faults is a different experiment.
     faults: Optional[FaultPlan] = None
+    #: Optional attack plan (see ``repro.adversary``).  When set it
+    #: replaces the default Fig. 8 flooder cohort with explicitly placed
+    #: attackers; like ``faults`` it is part of run-store keys.  Crawl
+    #: campaigns only expose the GETADDR surface, so only
+    #: ``addr_flooder`` specs are accepted here — the other kinds need
+    #: protocol fidelity.
+    attack: Optional[AttackPlan] = None
 
     def validate(self) -> None:
         if self.faults is not None:
             self.faults.validate()
+        if self.attack is not None:
+            self.attack.validate()
+            for index, spec in enumerate(self.attack.attackers):
+                if spec.kind != KIND_ADDR_FLOODER:
+                    raise ConfigurationError(
+                        f"attacker #{index}: kind {spec.kind!r} needs "
+                        "protocol fidelity — crawl campaigns support only "
+                        "addr_flooder attackers"
+                    )
         try:
             validate_fidelity(self.fidelity)
         except ValueError as exc:
@@ -212,7 +233,11 @@ class LongitudinalScenario:
         # the paper's cumulative 694K unreachable includes the flooders'
         # fabrications, so ours must not double-count them.
         self.flooders: List[MaliciousAddrServer] = []
-        if self.config.flooders:
+        if self.config.attack is not None:
+            self.flooders = self._plant_attack_flooders(self.config.attack)
+            total_fakes = sum(f.flood_volume for f in self.flooders)
+            self.population.trim_silent(total_fakes)
+        elif self.config.flooders:
             self.flooders = plant_flooders(
                 self.sim,
                 self.sim.random.stream("flooders"),
@@ -283,6 +308,40 @@ class LongitudinalScenario:
                 self.config.faults, asn_of=self.universe.asn_of
             )
         self._snapshot_index = -1
+
+    def _plant_attack_flooders(
+        self, plan: AttackPlan
+    ) -> List[MaliciousAddrServer]:
+        """Materialize an AttackPlan's flooders as crawl-mode servers.
+
+        Placement mirrors protocol-mode ``install_attack``: scoped specs
+        land in their declared ASNs/prefixes/addresses, unscoped ones
+        follow the reachable hosting distribution, all drawn from the
+        dedicated ``("attack",)`` stream.
+        """
+        from ..adversary.install import place_address
+
+        rng = self.sim.random.stream("attack")
+        flooders: List[MaliciousAddrServer] = []
+        prefix_hosts: Dict[int, int] = {}
+        for spec in plan.attackers:
+            for index in range(spec.count):
+                addr = place_address(
+                    self.universe, spec, index, rng, prefix_hosts
+                )
+                volume = spec.flood_volume or self.config.flood_volume_model.sample(
+                    rng, scale=self.config.scale
+                )
+                flooders.append(
+                    MaliciousAddrServer(
+                        self.sim,
+                        addr,
+                        rng,
+                        population=self.population,
+                        flood_volume=volume,
+                    )
+                )
+        return flooders
 
     # ------------------------------------------------------------------
     # Snapshot scheduling
@@ -417,10 +476,18 @@ class ProtocolConfig:
     flooder_count: int = 0
     #: Optional fault plan compiled onto the run (see ``repro.faults``).
     faults: Optional[FaultPlan] = None
+    #: Optional attack plan (see ``repro.adversary``): adversarial peers
+    #: compiled onto the run.  Composes with ``faults`` and, like it, is
+    #: part of run-store keys.
+    attack: Optional[AttackPlan] = None
 
     def validate(self) -> None:
         if self.faults is not None:
             self.faults.validate()
+        if self.attack is not None:
+            # Eager, named-field errors (ConfigurationError) — a bad plan
+            # must never surface as a mid-run failure.
+            self.attack.validate_for(self.n_reachable)
         try:
             validate_fidelity(self.fidelity)
         except ValueError as exc:
@@ -567,6 +634,15 @@ class ProtocolScenario:
                 asn_of=self.universe.asn_of,
                 node_provider=self.running_nodes,
             )
+        #: Attack force, when the config carries a plan.  Installed last
+        #: so eclipse specs can target the standing roster; attackers are
+        #: kept off ``self.nodes`` (churn, mining, and the sync metric
+        #: see honest nodes only).
+        self.attack_force = None
+        if self.config.attack is not None:
+            from ..adversary.install import install_attack
+
+            self.attack_force = install_attack(self, self.config.attack)
 
     # ------------------------------------------------------------------
     # Node construction

@@ -9,8 +9,11 @@ falling back to its default would submit the *wrong experiment* and then
 cache it under the wrong-experiment's key forever.
 
 Because the dataclasses themselves define the schema, anything a config
-file can express (nested churn/seed-view/fault-plan blocks included) is
-submittable, and the resulting run keys are identical to the CLI's —
+file can express (nested churn/seed-view/fault-plan/attack-plan blocks
+included) is submittable — an ``attack`` block is parsed through
+:meth:`~repro.adversary.plan.AttackPlan.from_dict` with the same strict
+unknown-key rejection — and the resulting run keys are identical to the
+CLI's —
 a campaign submitted over HTTP is a cache hit for the same campaign run
 locally, and vice versa.
 """

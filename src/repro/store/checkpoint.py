@@ -75,17 +75,35 @@ class _CanonicalPickler(_PicklerBase):
         return NotImplemented
 
 
-def _dumps_canonical(obj: Any) -> bytes:
+def _dumps_canonical(obj: Any, *, aliasing: bool = True) -> bytes:
     buf = io.BytesIO()
-    _CanonicalPickler(buf, protocol=PICKLE_PROTOCOL).dump(obj)
+    pickler = _CanonicalPickler(buf, protocol=PICKLE_PROTOCOL)
+    if not aliasing:
+        pickler.fast = 1
+    pickler.dump(obj)
     return buf.getvalue()
 
 
 def dump_checkpoint(
-    obj: Any, *, kind: str, meta: Optional[Dict[str, Any]] = None
+    obj: Any,
+    *,
+    kind: str,
+    meta: Optional[Dict[str, Any]] = None,
+    aliasing: bool = True,
 ) -> bytes:
-    """Serialize ``obj`` into a framed, digest-protected checkpoint."""
-    payload = _dumps_canonical(obj)
+    """Serialize ``obj`` into a framed, digest-protected checkpoint.
+
+    ``aliasing=False`` emits a memo-free pickle: every occurrence of a
+    shared object is written out in full instead of as a back-reference.
+    Object graphs that are *equal* but share substructure differently —
+    a result merged from an unpickled checkpoint plus freshly built
+    levels vs. one built in a single process (where interned strings and
+    reused specs alias) — then serialize to equal bytes, which is what
+    digest-based result comparison needs.  Only valid for acyclic
+    payloads; simulator state (cyclic by construction) must keep the
+    memo.
+    """
+    payload = _dumps_canonical(obj, aliasing=aliasing)
     header = {
         "format": CHECKPOINT_FORMAT,
         "kind": kind,
