@@ -15,11 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bitcoin import NodeConfig, PolicyConfig
-from repro.core import (
-    RelayExperimentConfig,
-    run_connection_success,
-    run_relay_experiment,
-)
+from repro.core import RelayExperimentConfig, run_connection_success
 from repro.core.reports import format_table
 from repro.netmodel import ProtocolConfig, ProtocolScenario
 
@@ -75,12 +71,12 @@ def test_block_priority_reduces_relay_delay(benchmark):
             config = RelayExperimentConfig(
                 duration=2 * 3600.0, n_reachable=25, seed=47
             )
-            # Patch the measurement node's policy via the trickle hook:
-            # build, then flip the policy before starting.
             from repro.core.relay_experiments import build_relay_scenario
 
-            scenario, target, clients = build_relay_scenario(config)
-            target.config.policies.prioritize_block_relay = prioritize
+            scenario, target, clients = build_relay_scenario(
+                config,
+                policies=PolicyConfig(prioritize_block_relay=prioritize),
+            )
             scenario.start()
             target.start()
             for client in clients:

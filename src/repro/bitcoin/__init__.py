@@ -44,6 +44,18 @@ from .messages import (
 from .mining import MinedBlock, MiningProcess, TransactionGenerator
 from .node import BitcoinNode, ConnectionAttempt
 from .peer import Peer
+from .policy import (
+    AddrPolicy,
+    ConnPolicy,
+    LightTierPolicy,
+    PolicyBundle,
+    PolicyVariant,
+    RelayPolicy,
+    build_policies,
+    get_variant,
+    register,
+    variant_names,
+)
 from .relay import RelayRecord, RelayTracker, relay_order
 from .relay_engine import RelayEngine
 
@@ -55,12 +67,14 @@ __all__ = [
     "Addr",
     "AddrInfo",
     "AddrMan",
+    "AddrPolicy",
     "BitcoinNode",
     "Block",
     "BlockMsg",
     "BlockTxn",
     "Blockchain",
     "CmpctBlock",
+    "ConnPolicy",
     "ConnectionAttempt",
     "ConnectionManager",
     "GetAddr",
@@ -73,6 +87,7 @@ __all__ = [
     "InvType",
     "LightNode",
     "LightNodeProfile",
+    "LightTierPolicy",
     "Mempool",
     "Message",
     "MinedBlock",
@@ -81,7 +96,9 @@ __all__ = [
     "NodeConfig",
     "Peer",
     "Ping",
+    "PolicyBundle",
     "PolicyConfig",
+    "PolicyVariant",
     "Pong",
     "RelayEngine",
     "RelayRecord",
@@ -92,9 +109,13 @@ __all__ = [
     "TxMsg",
     "Verack",
     "Version",
+    "build_policies",
     "describe_tier",
+    "get_variant",
     "make_genesis",
+    "register",
     "relay_order",
     "unreachable_config",
     "validate_fidelity",
+    "variant_names",
 ]

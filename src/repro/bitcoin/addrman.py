@@ -352,13 +352,17 @@ class AddrMan:
     # ------------------------------------------------------------------
     # Selection (outbound targets)
     # ------------------------------------------------------------------
-    def select(self, now: float, new_only: bool = False) -> Optional[NetAddr]:
+    def select(
+        self, now: float, new_only: bool = False, tried_bias: float = 0.5
+    ) -> Optional[NetAddr]:
         """Pick an outbound-connection candidate.
 
         Core's rule: with both tables non-empty, flip a fair coin between
         them — crucially *without* any reachability information.  Terrible
         entries encountered during selection are evicted and the draw
-        retried a bounded number of times.
+        retried a bounded number of times.  ``tried_bias`` is the coin's
+        weight (policy variants skew selection toward proven addresses);
+        any value makes the same single RNG draw.
         """
         for _ in range(8):
             if new_only:
@@ -368,7 +372,7 @@ class AddrMan:
             elif len(self._new) == 0:
                 use_tried = True
             else:
-                use_tried = self._rng.random() < 0.5
+                use_tried = self._rng.random() < tried_bias
             table = self._tried if use_tried else self._new
             addr = table.random_addr()
             if addr is None:

@@ -6,14 +6,17 @@ every two minutes, addrman ``new``/``tried`` tables with the 30-day /
 10-failure eviction rules, ADDR responses capped at 1000 addresses, and a
 round-robin message handler.
 
-:class:`PolicyConfig` carries the three §V refinements as toggles so the
-improvement ablation (``benchmarks/bench_improvements.py``) can switch each
-one independently.
+:class:`PolicyConfig` names a registered protocol-policy variant plus its
+parameters (see :mod:`repro.bitcoin.policy`).  The three §V refinements
+remain spellable as the legacy boolean/float keywords — they canonicalize
+onto the equivalent variant, so old configs parse, behave, and *key* (in
+the run store) identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
 
 from ..units import DAYS, MiB
 
@@ -61,46 +64,125 @@ ADDR_FORWARD_MAX = 10
 ADDR_FORWARD_FANOUT = 2
 
 
-@dataclass
-class PolicyConfig:
-    """The §V Bitcoin Core refinements, individually switchable.
+#: The legacy §V keywords, accepted by ``PolicyConfig(...)`` and
+#: ``PolicyConfig.from_dict`` for backward compatibility.
+_LEGACY_KNOBS = (
+    "addr_from_tried_only",
+    "tried_horizon_days",
+    "prioritize_block_relay",
+)
 
-    All default to the *baseline* (current Bitcoin Core) behaviour; the
-    improvement benchmarks flip them one at a time and together.
+
+@dataclass(init=False)
+class PolicyConfig:
+    """A serializable reference to a registered protocol-policy variant.
+
+    Canonical state is two fields — ``variant`` (a registry name) and
+    ``params`` (overrides of that variant's knob defaults) — which is
+    exactly what flows through :func:`dataclasses.asdict` into run-store
+    and serve-submission keys.  Construction canonicalizes eagerly (see
+    :func:`repro.bitcoin.policy.registry.resolve`), so two configs with
+    equal behavior compare equal and key identically, whichever spelling
+    built them.
+
+    The pre-registry API is preserved: the three §V refinements remain
+    spellable as keywords (``PolicyConfig(addr_from_tried_only=True)``)
+    and readable as properties; both map onto the effective knobs of the
+    resolved variant.
     """
 
-    #: §V "Refining the Addressing Protocol": answer GETADDR only from the
-    #: tried table, so gossiped addresses are ones someone has reached.
-    addr_from_tried_only: bool = False
+    #: Registered variant name (``repro.bitcoin.policy.variant_names()``).
+    variant: str = "baseline"
+    #: Knob overrides; canonicalized to the non-default subset.
+    params: Dict[str, Any] = field(default_factory=dict)
 
-    #: §V "Refining the tried Table": eviction horizon in days.  Baseline
-    #: 30; the paper proposes 17 (measured mean node lifetime 16.6 days).
-    tried_horizon_days: float = ADDRMAN_HORIZON_DAYS
+    def __init__(
+        self,
+        variant: str = "baseline",
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        addr_from_tried_only: Optional[bool] = None,
+        tried_horizon_days: Optional[float] = None,
+        prioritize_block_relay: Optional[bool] = None,
+    ) -> None:
+        merged: Dict[str, Any] = dict(params) if params else {}
+        for knob, value in (
+            ("addr_from_tried_only", addr_from_tried_only),
+            ("tried_horizon_days", tried_horizon_days),
+            ("prioritize_block_relay", prioritize_block_relay),
+        ):
+            if value is None:
+                continue
+            if knob in merged and merged[knob] != value:
+                raise ValueError(
+                    f"policy knob {knob!r} given both as a param "
+                    f"({merged[knob]!r}) and a keyword ({value!r})"
+                )
+            merged[knob] = value
+        # Deferred import: the registry's builtin variants read protocol
+        # constants from this module.
+        from .policy.registry import resolve
 
-    #: §V "Prioritizing Block Relay": relay new blocks to outbound
-    #: (guaranteed-reachable) connections first, and jump blocks ahead of
-    #: queued replies in vSendMessage.
-    prioritize_block_relay: bool = False
+        self.variant, self.params, self._knobs = resolve(variant, merged)
+
+    # -- legacy §V reads ------------------------------------------------
+    @property
+    def addr_from_tried_only(self) -> bool:
+        """§V "Refining the Addressing Protocol": tried-only GETADDR."""
+        return self._knobs["addr_from_tried_only"]
+
+    @property
+    def tried_horizon_days(self) -> float:
+        """§V "Refining the tried Table": eviction horizon in days."""
+        return self._knobs["tried_horizon_days"]
+
+    @property
+    def prioritize_block_relay(self) -> bool:
+        """§V "Prioritizing Block Relay": outbound-first, front-of-queue."""
+        return self._knobs["prioritize_block_relay"]
 
     def label(self) -> str:
         """Short tag for benchmark tables, e.g. ``"tried-only+17d"``."""
-        parts = []
-        if self.addr_from_tried_only:
-            parts.append("tried-only")
-        if self.tried_horizon_days != ADDRMAN_HORIZON_DAYS:
-            parts.append(f"{self.tried_horizon_days:g}d")
-        if self.prioritize_block_relay:
-            parts.append("block-prio")
-        return "+".join(parts) if parts else "baseline"
+        if self.variant in ("baseline", "improved"):
+            parts = []
+            if self.addr_from_tried_only:
+                parts.append("tried-only")
+            if self.tried_horizon_days != ADDRMAN_HORIZON_DAYS:
+                parts.append(f"{self.tried_horizon_days:g}d")
+            if self.prioritize_block_relay:
+                parts.append("block-prio")
+            return "+".join(parts) if parts else "baseline"
+        extras = [
+            f"{knob}={value:g}" if isinstance(value, float) else f"{knob}={value}"
+            for knob, value in sorted(self.params.items())
+        ]
+        return "+".join([self.variant, *extras])
 
     @classmethod
     def improved(cls) -> "PolicyConfig":
         """All three §V refinements enabled."""
-        return cls(
-            addr_from_tried_only=True,
-            tried_horizon_days=17.0,
-            prioritize_block_relay=True,
-        )
+        return cls(variant="improved")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicyConfig":
+        """Parse canonical (``variant``/``params``) or legacy keys.
+
+        Strict: unknown top-level keys are rejected, as are unknown
+        variants and params (via canonicalization) — a typo must fail
+        the submission, not silently default and alias a cache key.
+        """
+        remaining = dict(data)
+        variant = remaining.pop("variant", "baseline")
+        params = remaining.pop("params", None)
+        legacy = {
+            knob: remaining.pop(knob) for knob in _LEGACY_KNOBS if knob in remaining
+        }
+        if remaining:
+            raise ValueError(
+                f"unknown PolicyConfig keys {sorted(remaining)} "
+                f"(expected variant/params or legacy {list(_LEGACY_KNOBS)})"
+            )
+        return cls(variant, params, **legacy)
 
 
 @dataclass

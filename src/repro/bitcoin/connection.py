@@ -114,7 +114,7 @@ class ConnectionManager:
         node = self.node
         if not node.running or node.outbound_count >= node.config.max_outbound:
             return
-        target = node.addrman.select(node.sim.now)
+        target = node.policy.conn.select_target(node, node.sim.now)
         if target is None or target == node.addr or node._connected_to(target):
             self.ensure_connecting()
             return

@@ -37,7 +37,19 @@ from ..simnet.addresses import NetAddr, TimestampedAddr
 from ..simnet.simulator import Simulator
 from ..simnet.transport import ProbeBehavior, Socket
 from .behavior import FIDELITY_LIGHT, NodeBehavior
-from .messages import PONG0, VERACK, Addr, Message, Pong, Version
+from .messages import (
+    PONG0,
+    VERACK,
+    Addr,
+    GetData,
+    Inv,
+    InvItem,
+    InvType,
+    Message,
+    Pong,
+    TxMsg,
+    Version,
+)
 
 __all__ = ["DEFAULT_LIGHT_PROFILE", "LightNode", "LightNodeProfile"]
 
@@ -88,6 +100,9 @@ class LightNodeProfile:
     serve_repeated_getaddr: bool = False
     #: Advertise own address when answering GETADDR.
     self_advertise: bool = True
+    #: Relay transactions between sessions (the ``unreachable-relay``
+    #: assist profile): inv → getdata → tx, from a small bounded cache.
+    relay_txs: bool = False
 
 
 #: The shared default profile (module-level so pickling dedupes it).
@@ -111,7 +126,12 @@ class LightNode(NodeBehavior):
         "running",
         "addr_table",
         "_sessions",
+        "_relay",
     )
+
+    #: Bound on the per-assist relay cache (txid -> size).  An assist
+    #: only needs to bridge recent announcements between its sessions.
+    RELAY_CACHE_MAX = 512
 
     def __init__(
         self,
@@ -133,6 +153,9 @@ class LightNode(NodeBehavior):
         #: socket -> handshake flags; ``None`` until the first inbound
         #: connection so cloud nodes never pay for the dict.
         self._sessions: Optional[Dict[Socket, int]] = None
+        #: txid -> size of relayed transactions; ``None`` until the
+        #: first relayed tx so non-assist nodes never pay for the dict.
+        self._relay: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -155,7 +178,10 @@ class LightNode(NodeBehavior):
         if not self.running:
             return
         self.running = False
-        if self.profile.listen:
+        # A listen-profile node may currently be in its churned-offline
+        # state (endpoint registered, not listening) — ask the network
+        # which teardown applies rather than trusting the profile.
+        if self.sim.network.is_listening(self.addr):
             self.sim.network.disconnect_host(self.addr)
             self._sessions = None
         else:
@@ -164,6 +190,30 @@ class LightNode(NodeBehavior):
     def set_behavior(self, behavior: ProbeBehavior) -> None:
         """Update the NAT answer (churn: responsive host goes silent)."""
         self.behavior = behavior
+
+    def apply_behavior(self, behavior: ProbeBehavior) -> None:
+        """Churn update that also syncs listen state (assist nodes).
+
+        The transport resolves connects through the listener table
+        *before* probe behaviors, so a listening endpoint churned to
+        RST/SILENT would keep accepting if we only flipped
+        ``behavior``.  For listen-profile nodes a churn event therefore
+        transitions the transport registration too: FIN (host up) →
+        listening; anything else → closed sockets, probe-behavior only.
+        Plain cloud nodes fall back to :meth:`set_behavior`.
+        """
+        self.behavior = behavior
+        if not self.profile.listen or not self.running:
+            return
+        network = self.sim.network
+        if behavior is ProbeBehavior.FIN:
+            if not network.is_listening(self.addr):
+                network.unregister_endpoint(self.addr)
+                network.listen(self.addr, self)
+        elif network.is_listening(self.addr):
+            network.disconnect_host(self.addr)
+            self._sessions = None
+            network.register_endpoint(self.addr, self)
 
     # ------------------------------------------------------------------
     # Transport contract
@@ -210,8 +260,67 @@ class LightNode(NodeBehavior):
                 records = (TimestampedAddr(self.addr, now),) + records
             if records:
                 socket.send(Addr(addresses=records))
-        # verack / addr / anything else: accepted silently.  A light
-        # node keeps no inventory and relays nothing.
+        elif self.profile.relay_txs:
+            if command == "inv":
+                self._relay_request(socket, message)
+            elif command == "tx":
+                self._relay_accept(socket, message)
+            elif command == "getdata":
+                self._relay_serve(socket, message)
+        # verack / addr / anything else: accepted silently.  A default
+        # light node keeps no inventory and relays nothing; the assist
+        # profile (unreachable-relay) bridges tx announcements above.
+
+    # ------------------------------------------------------------------
+    # Assist relay (profile.relay_txs) — transitively hot via on_message
+    # ------------------------------------------------------------------
+    def _relay_request(self, socket: Socket, message: Inv) -> None:
+        """Request announced transactions we have not bridged yet."""
+        relay = self._relay
+        wanted = None
+        for item in message.items:
+            if item.type is not InvType.TX:
+                continue  # assists bridge transactions only
+            if relay is not None and item.object_id in relay:
+                continue
+            if wanted is None:
+                wanted = []  # repro-lint: disable=HOT001 (assist-only branch: one short list per inv carrying unseen txids)
+            wanted.append(item)
+        if wanted:
+            socket.send(GetData(items=tuple(wanted)))  # repro-lint: disable=HOT001 (assist-only branch: one request per unseen announcement)
+
+    def _relay_accept(self, socket: Socket, message: TxMsg) -> None:
+        """Record a received tx and announce it to the other sessions."""
+        relay = self._relay
+        if relay is None:
+            relay = self._relay = {}  # repro-lint: disable=HOT001 (first relayed tx only; stays None on non-assist nodes)
+        txid = message.txid
+        if txid in relay:
+            return  # duplicate delivery; already announced
+        if len(relay) >= self.RELAY_CACHE_MAX:
+            # Same FIFO half-eviction as the payload memo: bridging is
+            # a recency phenomenon, insertion age approximates LRU.
+            for stale in list(relay)[: self.RELAY_CACHE_MAX // 2]:  # repro-lint: disable=HOT001 (cache-full branch: one sweep per RELAY_CACHE_MAX/2 relayed txs)
+                del relay[stale]
+        relay[txid] = message.size
+        sessions = self._sessions
+        if sessions is None or len(sessions) < 2:
+            return
+        announcement = Inv(items=(InvItem(InvType.TX, txid),))  # repro-lint: disable=HOT001 (assist-only branch: one shared announcement per bridged tx)
+        for peer_socket, flags in sessions.items():
+            if peer_socket is not socket and flags & _GOT_VERSION:
+                peer_socket.send(announcement)
+
+    def _relay_serve(self, socket: Socket, message: GetData) -> None:
+        """Serve bridged transactions back out of the relay cache."""
+        relay = self._relay
+        if relay is None:
+            return
+        for item in message.items:
+            if item.type is InvType.TX:
+                size = relay.get(item.object_id)
+                if size is not None:
+                    socket.send(TxMsg(txid=item.object_id, size=size))  # repro-lint: disable=HOT001 (assist-only branch: one reply per requested tx)
 
     def on_disconnect(self, socket: Socket) -> None:
         sessions = self._sessions

@@ -73,6 +73,7 @@ from .messages import (
     Version,
 )
 from .peer import Peer
+from .policy.registry import build_policies
 from .relay import RelayTracker
 from .relay_engine import RelayEngine
 
@@ -104,12 +105,15 @@ class BitcoinNode(NodeBehavior):
         #: time once per delivered message).
         self._clock = sim.clock
         self._rng = sim.random.stream("node", str(addr))
+        #: Built policy objects for the configured variant (stateless,
+        #: picklable — they ride inside snapshots with the node).
+        self.policy = build_policies(self.config.policies)
         self.addrman = AddrMan(
             rng=self._rng,
             new_buckets=self.config.addrman_new_buckets,
             tried_buckets=self.config.addrman_tried_buckets,
             bucket_size=self.config.addrman_bucket_size,
-            horizon_days=self.config.policies.tried_horizon_days,
+            horizon_days=self.policy.addr.horizon_days,
             key=derive_seed(sim.seed, "addrman", str(addr)),
         )
         self.chain = Blockchain()
@@ -415,10 +419,7 @@ class BitcoinNode(NodeBehavior):
         if peer.served_getaddr and not self.config.serve_repeated_getaddr:
             return
         peer.served_getaddr = True
-        records = self.addrman.get_addr(
-            self.sim.now,
-            tried_only=self.config.policies.addr_from_tried_only,
-        )
+        records = self.policy.addr.getaddr_records(self.addrman, self.sim.now)
         response = self._build_addr_response(records)
         if response:
             peer.enqueue_send(Addr(addresses=tuple(response[:1000])))

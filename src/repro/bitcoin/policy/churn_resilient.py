@@ -1,0 +1,44 @@
+"""``churn-resilient``: Younis et al.'s block-propagation hardening.
+
+Their diagnosis matches the paper's §IV-B/§IV-C: under heavy peer
+churn, block propagation suffers because outbound slots are spent on
+dead addresses and block announcements queue behind bulk traffic.
+Their hardening, mapped onto our knobs:
+
+* **prioritized block relay** (outbound-first, front-of-queue) — the
+  same mechanism as §V's refinement, which is why the variant reuses
+  :class:`~.variants.StandardRelayPolicy`;
+* **selection biased toward proven peers** — outbound targets prefer
+  the tried table (``tried_bias`` = 0.75 instead of Core's fair coin),
+  so under churn a node re-anchors to addresses that have actually
+  accepted a connection before, keeping the block-relay backbone up.
+
+ADDR serving and the tried horizon stay at baseline: the point of the
+variant is to isolate what connection/relay hardening alone recovers,
+without the §V addressing changes.
+"""
+
+from __future__ import annotations
+
+from ..config import ADDRMAN_HORIZON_DAYS
+from .registry import PolicyVariant, register
+from .variants import StandardAddrPolicy, StandardConnPolicy, StandardRelayPolicy
+
+register(
+    PolicyVariant(
+        name="churn-resilient",
+        description=(
+            "Younis et al.: prioritized block relay plus tried-biased "
+            "peer selection, hardening propagation under churn"
+        ),
+        defaults={
+            "addr_from_tried_only": False,
+            "tried_horizon_days": ADDRMAN_HORIZON_DAYS,
+            "prioritize_block_relay": True,
+            "tried_bias": 0.75,
+        },
+        addr_factory=StandardAddrPolicy,
+        relay_factory=StandardRelayPolicy,
+        conn_factory=StandardConnPolicy,
+    )
+)

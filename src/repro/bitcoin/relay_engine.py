@@ -1,11 +1,13 @@
 """Block and transaction relay, extracted from the node.
 
-The :class:`RelayEngine` owns relay *behavior*: BIP152 compact-block
-push to high-bandwidth peers vs. INV/GETDATA announcement, the §V
-outbound-first/front-of-queue priority policy, and the Poisson inv
-trickle (per-peer timers for outbound connections, one shared timer for
-all inbound connections, as Bitcoin Core's ``PoissonNextSendInbound``
-does to blunt timing-based topology inference).
+The :class:`RelayEngine` owns relay *mechanics*: BIP152 compact-block
+push to high-bandwidth peers vs. INV/GETDATA announcement, and the
+Poisson inv trickle (per-peer timers for outbound connections, one
+shared timer for all inbound connections, as Bitcoin Core's
+``PoissonNextSendInbound`` does to blunt timing-based topology
+inference).  Relay *policy* — peer ordering, queue priority, inv
+targets — comes from the node's registered
+:class:`~repro.bitcoin.policy.RelayPolicy` variant.
 
 Relay *measurement* (the :class:`~repro.bitcoin.relay.RelayTracker` and
 ``first_relay_at``) stays on the node — it is experiment surface, read
@@ -23,7 +25,6 @@ from typing import TYPE_CHECKING, Optional
 from .mempool import Transaction
 from .messages import BlockMsg, CmpctBlock, Inv, InvItem, InvType, Message
 from .peer import Peer
-from .relay import relay_order
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .blockchain import Block
@@ -45,9 +46,10 @@ class RelayEngine:
     # ------------------------------------------------------------------
     def relay_block(self, block: "Block") -> None:
         node = self.node
-        prioritize = node.config.policies.prioritize_block_relay
+        policy = node.policy.relay
+        to_front = policy.block_to_front
         tracker = node.relay_tracker
-        for peer in relay_order(node.established_peers, outbound_first=prioritize):
+        for peer in policy.block_order(node.established_peers):
             if block.block_id in peer.known_blocks:
                 continue
             peer.known_blocks.add(block.block_id)
@@ -55,14 +57,14 @@ class RelayEngine:
                 message: Message = CmpctBlock(block=block)
             else:
                 message = Inv(items=(InvItem(InvType.BLOCK, block.block_id),))
-            peer.enqueue_send(message, to_front=prioritize)
+            peer.enqueue_send(message, to_front=to_front)
             if tracker is not None:
                 tracker.enqueued(block.block_id)
 
     def relay_tx(self, tx: Transaction, exclude: Optional[Peer]) -> None:
         node = self.node
         tracker = node.relay_tracker
-        for peer in node.established_peers:
+        for peer in node.policy.relay.tx_targets(node):
             if peer is exclude or tx.txid in peer.known_txs:
                 continue
             peer.pending_tx_invs.add(tx.txid)

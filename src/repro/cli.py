@@ -10,6 +10,8 @@ Commands
 ``sync``       the Fig. 1 contrast (2019-like vs 2020-like churn)
 ``chaos``      sync-% degradation vs. fault intensity (``repro.faults``)
 ``attack``     sync-% degradation vs. attacker count (``repro.adversary``)
+``variants``   the protocol-variant lab: policy variant x churn x fault x
+               fidelity cross-product (``repro.bitcoin.policy``)
 ``relay``      the Fig. 10/11 relay-delay measurement
 ``conn``       the Fig. 6/7 connection experiments
 ``store``      inspect the run store (``ls`` / ``show`` / ``gc`` / ``diff``)
@@ -46,6 +48,7 @@ import numpy as np
 from . import core
 from .bitcoin import NodeConfig
 from .core import export as export_mod
+from .core.variant_experiments import DEFAULT_CHURN_LEVELS, DEFAULT_VARIANTS
 from .core.reports import comparison_table, format_table
 from .netmodel import (
     LongitudinalConfig,
@@ -472,11 +475,11 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     if args.mitigations:
         print()
         print(
-            "mitigations: rerunning the full attack under §V policies "
-            "(tried-only ADDR, 17-day tried horizon)..."
+            f"mitigations: rerunning the full attack under the "
+            f"{args.mitigations!r} policy variant..."
         )
         comparison = core.compare_mitigations(
-            plan, base, seeds=seeds,
+            plan, base, policies=args.mitigations, seeds=seeds,
             workers=args.workers, supervisor=supervisor,
         )
         mrows = [
@@ -511,6 +514,131 @@ def _cmd_attack(args: argparse.Namespace) -> int:
                 label=f"attackers={level.count}",
             )
         print(f"exported degradation table and samples to {out}/")
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    variants = [part.strip() for part in args.variants.split(",") if part.strip()]
+    churn_levels = [float(part) for part in args.churn.split(",")]
+    fidelities = [
+        part.strip() for part in args.fidelities.split(",") if part.strip()
+    ]
+    fault_plans: List[Any] = [None]
+    if args.faults:
+        from .faults import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.faults)
+        fault_plans = [None, fault_plan]
+        print(
+            f"fault plan: {len(fault_plan)} fault(s) loaded from "
+            f"{args.faults} (matrix runs fault-free + plan)"
+        )
+    if args.resume and not args.store:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    base = core.SyncCampaignConfig(
+        n_reachable=args.nodes,
+        duration=args.hours * HOURS,
+        seed=args.seed,
+    )
+    seeds = core.seed_range(args.seed, args.seeds)
+    n_cells = (
+        len(variants) * len(churn_levels) * len(fault_plans) * len(fidelities)
+    )
+    print(
+        f"variants: {variants} x churn={churn_levels} x "
+        f"{len(fault_plans)} fault plan(s) x fidelities={fidelities} "
+        f"({n_cells} cells, seeds={seeds}, workers={args.workers or 'auto'})..."
+    )
+    supervisor = _supervisor_config(args)
+    if args.store:
+        stored = core.run_stored_variant_matrix(
+            args.store,
+            variants,
+            base,
+            churn_levels=churn_levels,
+            fault_plans=fault_plans,
+            fidelities=fidelities,
+            seeds=seeds,
+            workers=args.workers,
+            supervisor=supervisor,
+            resume=args.resume,
+            force=args.force,
+        )
+        result = stored.result
+        if stored.cached:
+            print(
+                f"cache hit: run {stored.manifest.run_id} is complete — "
+                f"returning the stored result (no simulation)"
+            )
+        elif stored.resumed_from is not None:
+            print(
+                f"resumed run {stored.manifest.run_id} from cell "
+                f"{stored.resumed_from}/{n_cells}"
+            )
+        else:
+            print(f"stored as run {stored.manifest.run_id}")
+    else:
+        result = core.run_variant_matrix(
+            variants,
+            base,
+            churn_levels=churn_levels,
+            fault_plans=fault_plans,
+            fidelities=fidelities,
+            seeds=seeds,
+            workers=args.workers,
+            supervisor=supervisor,
+        )
+    for cell in result.cells:
+        _report_supervision(
+            f"{cell.variant_label} churn={cell.churn_per_10min:g} "
+            f"faults={cell.fault_label} fidelity={cell.fidelity}",
+            cell.sweep,
+        )
+    churn_headers = [f"sync%@{level:g}" for level in result.churn_levels]
+    rows = []
+    for row in result.retention_table():
+        means = row["mean_sync"]
+        cells = [
+            "-" if means.get(f"{level:g}") is None
+            else round(means[f"{level:g}"], 2)
+            for level in result.churn_levels
+        ]
+        retention = row["retention"]
+        rows.append(
+            (
+                row["variant"],
+                row["faults"],
+                row["fidelity"],
+                *cells,
+                "-" if retention is None else round(retention, 3),
+            )
+        )
+    print(
+        format_table(
+            ("variant", "faults", "fidelity", *churn_headers, "retention"),
+            rows,
+        )
+    )
+    if args.export:
+        out = Path(args.export)
+        out.mkdir(parents=True, exist_ok=True)
+        with open(out / "variant_retention.json", "w", encoding="utf-8") as fh:
+            json.dump(result.retention_table(), fh, indent=2, sort_keys=True)
+        for cell in result.cells:
+            tag = (
+                f"{cell.variant_label}_churn{cell.churn_per_10min:g}"
+                f"_{cell.fault_label}_{cell.fidelity}"
+            )
+            tag = "".join(
+                ch if ch.isalnum() or ch in "._-" else "-" for ch in tag
+            )
+            export_mod.export_sync_samples(
+                cell.sweep,
+                out / f"sync_samples_{tag}.csv",
+                label=cell.variant_label,
+            )
+        print(f"exported retention table and samples to {out}/")
     return 0
 
 
@@ -877,14 +1005,72 @@ def build_parser() -> argparse.ArgumentParser:
         "(resume/cache on re-run)",
     )
     attack.add_argument(
-        "--mitigations", action="store_true",
-        help="also rerun the full attack under the paper's §V policy "
-        "refinements and report the sync recovered",
+        "--mitigations", nargs="?", const="improved", default=None,
+        metavar="VARIANT",
+        help="also rerun the full attack under this registered policy "
+        "variant and report the sync recovered (bare flag: the paper's "
+        "§V 'improved' refinements)",
     )
     attack.add_argument("--export", type=str, default=None, metavar="DIR")
     _supervisor_flags(attack)
     _profile_flag(attack)
     attack.set_defaults(func=_cmd_attack)
+
+    variants = sub.add_parser(
+        "variants",
+        help="run the protocol-variant lab "
+        "(variant x churn x fault x fidelity)",
+    )
+    variants.add_argument(
+        "--variants", type=str, default=",".join(DEFAULT_VARIANTS),
+        metavar="LIST",
+        help="comma-separated registered variant names "
+        "(repro.bitcoin.policy.variant_names())",
+    )
+    variants.add_argument(
+        "--churn", type=str,
+        default=",".join(f"{level:g}" for level in DEFAULT_CHURN_LEVELS),
+        metavar="LIST",
+        help="comma-separated churn levels in departures per 10 min; "
+        "retention = mean sync at the highest level / the lowest",
+    )
+    variants.add_argument(
+        "--fidelities", type=str, default="full", metavar="LIST",
+        help="comma-separated node-tier fidelities (full and/or hybrid)",
+    )
+    variants.add_argument(
+        "--faults", type=str, default=None, metavar="PLAN.json",
+        help="also run every variant under this fault plan "
+        "(the fault-free axis is kept for contrast)",
+    )
+    variants.add_argument("--nodes", type=int, default=40)
+    variants.add_argument("--hours", type=float, default=1.0)
+    variants.add_argument("--seed", type=int, default=21)
+    variants.add_argument(
+        "--seeds", type=int, default=2, metavar="N",
+        help="seeds per matrix cell",
+    )
+    variants.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: CPU count)",
+    )
+    variants.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="checkpoint each cell into this run store (resume/cache "
+        "on re-run)",
+    )
+    variants.add_argument(
+        "--resume", type=str, default=None, metavar="RUN_ID",
+        help="resume this matrix run id from its last completed cell",
+    )
+    variants.add_argument(
+        "--force", action="store_true",
+        help="re-execute even when the store holds a complete result",
+    )
+    variants.add_argument("--export", type=str, default=None, metavar="DIR")
+    _supervisor_flags(variants)
+    _profile_flag(variants)
+    variants.set_defaults(func=_cmd_variants)
 
     relay = sub.add_parser("relay", help="run the Fig. 10/11 relay experiment")
     relay.add_argument("--nodes", type=int, default=30)

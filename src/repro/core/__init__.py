@@ -53,6 +53,14 @@ from .fault_experiments import (
     FaultSweepResult,
     run_sync_under_faults,
 )
+from .variant_experiments import (
+    StoredVariantMatrix,
+    VariantCell,
+    VariantMatrixResult,
+    run_stored_variant_matrix,
+    run_variant_matrix,
+    variant_matrix_key,
+)
 from .parallel import (
     CampaignSweepResult,
     SyncSweepResult,
@@ -156,6 +164,9 @@ __all__ = [
     "SyncSnapshot",
     "SyncSweepResult",
     "TargetShift",
+    "StoredVariantMatrix",
+    "VariantCell",
+    "VariantMatrixResult",
     "VerProber",
     "analyze",
     "best_height_at",
@@ -190,6 +201,9 @@ __all__ = [
     "run_sync_campaign",
     "run_sync_campaign_sweep",
     "run_sync_under_faults",
+    "run_stored_variant_matrix",
+    "run_variant_matrix",
+    "variant_matrix_key",
     "score_detection",
     "seed_range",
     "series_preview",

@@ -21,10 +21,10 @@ Two persistence layers ride on top:
   checkpoint is durable (the sweep-level analogue of the campaign
   store's crash hook).
 
-* :func:`compare_mitigations` reruns the attacked campaign under the
-  paper's §V refinements (tried-table-only ADDR responses, 17-day tried
-  eviction — ``PolicyConfig.improved()``) and reports what the hardening
-  buys back.
+* :func:`compare_mitigations` reruns the attacked campaign under a
+  hardened policy variant — any name registered with
+  :mod:`repro.bitcoin.policy` (default the §V ``improved`` variant) —
+  and reports what the hardening buys back.
 """
 
 from __future__ import annotations
@@ -245,21 +245,27 @@ def compare_mitigations(
     plan: AttackPlan,
     base: Optional[SyncCampaignConfig] = None,
     seeds: Optional[Sequence[int]] = None,
-    policies: Optional[PolicyConfig] = None,
+    policies: Optional[Union[PolicyConfig, str]] = None,
     workers: Optional[int] = None,
     supervisor: Optional[SupervisorConfig] = None,
 ) -> MitigationComparison:
-    """Cost the §V refinements against ``plan``'s attack.
+    """Cost a policy variant's hardening against ``plan``'s attack.
 
     Runs the same seeds three ways — no attack, attack under default
-    policies, attack under ``policies`` (default
-    :meth:`PolicyConfig.improved`: tried-only ADDR, 17-day horizon) —
-    and reports the sync recovered by hardening.
+    policies, attack under ``policies`` — and reports the sync
+    recovered by hardening.  ``policies`` may be a
+    :class:`PolicyConfig` or any registered variant name
+    (``repro.bitcoin.policy.variant_names()``); the default is the §V
+    ``improved`` variant (tried-only ADDR, 17-day horizon, prioritized
+    block relay).
     """
     plan.validate()
     base = base if base is not None else SyncCampaignConfig()
     plan.validate_for(base.n_reachable)
-    policies = policies if policies is not None else PolicyConfig.improved()
+    if policies is None:
+        policies = PolicyConfig.improved()
+    elif isinstance(policies, str):
+        policies = PolicyConfig(variant=policies)
     seeds = list(seeds) if seeds is not None else seed_range(base.seed, 3)
     clean = _run_level(plan, 0, base, seeds, workers, supervisor).sweep
     attacked = _run_level(

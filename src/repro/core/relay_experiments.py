@@ -22,7 +22,7 @@ from typing import List, Optional
 from ..analysis.stats import Summary, summarize
 from ..errors import ScenarioError
 from ..simnet.addresses import NetAddr
-from ..bitcoin.config import NodeConfig, unreachable_config
+from ..bitcoin.config import NodeConfig, PolicyConfig, unreachable_config
 from ..bitcoin.node import BitcoinNode
 from ..netmodel.scenario import ProtocolConfig, ProtocolScenario
 
@@ -104,8 +104,14 @@ class RelayExperimentResult:
 
 def build_relay_scenario(
     config: RelayExperimentConfig,
+    policies: Optional[PolicyConfig] = None,
 ) -> "tuple[ProtocolScenario, BitcoinNode, List[BitcoinNode]]":
-    """Construct the world, the measurement node, and its pinned clients."""
+    """Construct the world, the measurement node, and its pinned clients.
+
+    ``policies`` selects the measurement node's policy variant (relay
+    ordering is what the Fig. 10/11 ablations toggle); the surrounding
+    network keeps the default baseline policies either way.
+    """
     config.validate()
     scenario = ProtocolScenario(
         ProtocolConfig(
@@ -123,6 +129,7 @@ def build_relay_scenario(
         serve_repeated_getaddr=True,
         tx_inv_interval_outbound=config.target_tx_trickle[0],
         tx_inv_interval_inbound=config.target_tx_trickle[1],
+        policies=policies if policies is not None else PolicyConfig(),
     )
     target = scenario.make_observer_node(target_config)
 

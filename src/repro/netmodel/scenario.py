@@ -35,10 +35,12 @@ from ..simnet.simulator import Simulator
 from ..simnet.transport import ProbeBehavior
 from ..units import DAYS
 from ..bitcoin.behavior import validate_fidelity
-from ..bitcoin.config import NodeConfig
+from ..bitcoin.config import NodeConfig, PolicyConfig
 from ..bitcoin.light import LightNode
 from ..bitcoin.mining import MiningProcess, TransactionGenerator
 from ..bitcoin.node import BitcoinNode
+from ..bitcoin.policy.base import AddrPolicy, LightTierPolicy
+from ..bitcoin.policy.registry import build_policies
 
 # The adversary package sits above bitcoin/ and below netmodel/ in the
 # layering; importing only its plan module here keeps construction
@@ -84,20 +86,42 @@ class LightCloud:
     bookkeeping — it never changes which endpoint answers or when.
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        light_policy: Optional[LightTierPolicy] = None,
+    ) -> None:
         self.sim = sim
         self.nodes: Dict[NetAddr, LightNode] = {}
         #: group16 -> {addr: LightNode}, in install order within a shard.
         self.shards: Dict[int, Dict[NetAddr, LightNode]] = {}
+        #: Per-address profile override (``unreachable-relay`` assists).
+        #: ``None`` — every endpoint runs the shared default profile and
+        #: the install path below is byte-for-byte the pre-policy one.
+        self.light_policy = light_policy
 
     def install(self, addr: NetAddr, behavior: ProbeBehavior) -> None:
         """NAT-model endpoint factory: create or retarget a light node."""
         node = self.nodes.get(addr)
         if node is None:
-            node = LightNode(self.sim, addr, behavior=behavior)
+            profile = (
+                self.light_policy.profile_for(addr)
+                if self.light_policy is not None
+                else None
+            )
+            if profile is None:
+                node = LightNode(self.sim, addr, behavior=behavior)
+            else:
+                node = LightNode(self.sim, addr, behavior=behavior, profile=profile)
             node.start()
             self.nodes[addr] = node
             self.shards.setdefault(addr.group16, {})[addr] = node
+            if profile is not None and profile.listen:
+                # Sync the transport's listen state with the initial
+                # churn class (start() listens unconditionally).
+                node.apply_behavior(behavior)
+        elif node.profile.listen:
+            node.apply_behavior(behavior)
         else:
             node.behavior = behavior
 
@@ -117,7 +141,10 @@ class LightCloud:
         if not shard:
             return 0
         for node in shard.values():
-            node.behavior = behavior
+            if node.profile.listen:
+                node.apply_behavior(behavior)
+            else:
+                node.behavior = behavior
         return len(shard)
 
     def shard_census(self) -> Dict[int, int]:
@@ -181,6 +208,13 @@ class LongitudinalConfig:
     #: ``addr_flooder`` specs are accepted here — the other kinds need
     #: protocol fidelity.
     attack: Optional[AttackPlan] = None
+    #: Optional protocol-policy variant.  The crawl model exposes one
+    #: policy surface — what the population gossips
+    #: (:meth:`~repro.bitcoin.policy.AddrPolicy.crawl_gossip` composes
+    #: each materialized table) — so tried-only variants starve the
+    #: unreachable share at campaign scale.  Part of run-store and serve
+    #: keys; ``None`` keeps the pre-policy composition.
+    policies: Optional[PolicyConfig] = None
 
     def validate(self) -> None:
         if self.faults is not None:
@@ -279,10 +313,17 @@ class LongitudinalScenario:
             self.reachable_timeline,
             self.config.seed_views,
         )
+        #: Gossip-composition policy (None → pre-policy concatenation).
+        self.addr_policy: Optional[AddrPolicy] = None
+        light_policy: Optional[LightTierPolicy] = None
+        if self.config.policies is not None:
+            bundle = build_policies(self.config.policies)
+            self.addr_policy = bundle.addr
+            light_policy = bundle.light
         #: Hybrid fidelity: the unreachable cloud as light-tier endpoints.
         self.light_cloud: Optional[LightCloud] = None
         if self.config.fidelity == "hybrid":
-            self.light_cloud = LightCloud(self.sim)
+            self.light_cloud = LightCloud(self.sim, light_policy=light_policy)
         self.nat = NatModel(
             self.sim.network,
             self.sim.random.stream("nat"),
@@ -395,11 +436,19 @@ class LongitudinalScenario:
         n_unreach = min(len(pool), round(n_reach * (1 - share) / share))
 
         rng = self._rng
+        addr_policy = self.addr_policy
         for addr, server in self.servers.items():
             if addr in alive_set:
-                table = rng.sample(alive_addrs, n_reach) + rng.sample(
-                    pool, n_unreach
-                )
+                # Both samples are always drawn (the RNG sequence is
+                # policy-independent); the policy only composes them.
+                reach_sample = rng.sample(alive_addrs, n_reach)
+                unreach_sample = rng.sample(pool, n_unreach)
+                if addr_policy is None:
+                    table = reach_sample + unreach_sample
+                else:
+                    table = addr_policy.crawl_gossip(
+                        reach_sample, unreach_sample
+                    )
                 server.set_table(table)
                 server.start()
             else:
@@ -550,10 +599,15 @@ class ProtocolScenario:
                 ),
             ),
         )
+        #: The built policy bundle of the configured variant (shared by
+        #: the light cloud; each node builds its own from its config).
+        self.policy = build_policies(self.config.node_config.policies)
         #: Hybrid fidelity: the unreachable cloud as light-tier endpoints.
         self.light_cloud: Optional[LightCloud] = None
         if self.config.fidelity == "hybrid":
-            self.light_cloud = LightCloud(self.sim)
+            self.light_cloud = LightCloud(
+                self.sim, light_policy=self.policy.light
+            )
         self.nat = NatModel(
             self.sim.network,
             self.sim.random.stream("nat"),

@@ -80,7 +80,12 @@ def dataclass_from_dict(cls: Type[T], data: Any, context: str = "") -> T:
         ):
             from_dict = getattr(ftype, "from_dict", None)
             if from_dict is not None:
-                value = from_dict(value)
+                try:
+                    value = from_dict(value)
+                except (TypeError, ValueError) as exc:
+                    raise ConfigurationError(
+                        f"invalid {where}.{f.name}: {exc}"
+                    ) from exc
             else:
                 value = dataclass_from_dict(
                     ftype, value, context=f"{where}.{f.name}"

@@ -154,3 +154,54 @@ class TestProtocolCommandsSmoke:
         code = main(["conn", "--nodes", "15", "--runs", "1"])
         assert code == 0
         assert "connection success rate" in capsys.readouterr().out
+
+
+class TestVariantsWiring:
+    def test_variants_flags_parse(self):
+        args = build_parser().parse_args(
+            ["variants", "--variants", "baseline,improved",
+             "--churn", "2,6", "--fidelities", "hybrid",
+             "--store", "st", "--resume", "variant-matrix-abc", "--force"]
+        )
+        assert args.command == "variants"
+        assert args.variants == "baseline,improved"
+        assert args.resume == "variant-matrix-abc"
+        assert args.force is True
+        assert callable(args.func)
+
+    def test_attack_mitigations_takes_optional_variant(self):
+        parser = build_parser()
+        base = ["attack", "--plan", "plan.json"]
+        assert parser.parse_args(base).mitigations is None
+        assert parser.parse_args(base + ["--mitigations"]).mitigations == (
+            "improved"
+        )
+        assert parser.parse_args(
+            base + ["--mitigations", "churn-resilient"]
+        ).mitigations == "churn-resilient"
+
+    def test_variants_resume_requires_store(self, capsys):
+        code = main(
+            ["variants", "--variants", "baseline",
+             "--resume", "variant-matrix-abc"]
+        )
+        assert code == 2
+
+
+@pytest.mark.slow
+class TestVariantsSmoke:
+    def test_variants_runs_and_caches(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        argv = [
+            "variants", "--variants", "baseline,unreachable-relay",
+            "--churn", "2,6", "--fidelities", "hybrid",
+            "--nodes", "10", "--hours", "0.3", "--seeds", "1",
+            "--workers", "1", "--store", str(root),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "retention" in out
+        assert "unreachable-relay" in out
+        assert "stored as run variant-matrix-" in out
+        assert main(argv) == 0
+        assert "cache hit" in capsys.readouterr().out
